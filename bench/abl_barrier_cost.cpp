@@ -1,0 +1,75 @@
+// Ablation: cost of dependent operations (Section III.E.2).
+// Mixes rmdir/readdir (barrier commit) into a create stream at varying rates
+// and measures total throughput. Each barrier must drain every queue, so a
+// higher dependent-op rate erodes the async-commit advantage.
+#include "bench_common.h"
+
+using namespace pacon;
+using namespace pacon::bench;
+
+namespace {
+
+struct BarrierMixResult {
+  double total_kops = 0;
+  double mean_readdir_us = 0;  // latency of the dependent op itself
+  std::uint64_t readdirs = 0;
+};
+
+BarrierMixResult create_with_barrier_mix(std::size_t nodes, int barrier_every) {
+  TestBedConfig cfg;
+  cfg.kind = SystemKind::pacon;
+  cfg.client_nodes = nodes;
+  TestBed bed(cfg);
+  App app = make_app(bed, "/bench", node_range(nodes), 20);
+
+  auto* lat = &bed.sim().metrics().histogram("readdir_latency_ns");
+  auto op = [&app, barrier_every, lat, &bed](std::size_t client,
+                                             std::uint64_t index) -> sim::Task<bool> {
+    const fs::Path base = fs::Path::parse(app.workspace);
+    if (barrier_every > 0 && client == 0 &&
+        index % static_cast<std::uint64_t>(barrier_every) == static_cast<std::uint64_t>(barrier_every) - 1) {
+      // A dependent op from one client: list the workspace root. It must
+      // wait for every queued commit of the epoch to reach the DFS.
+      const auto t0 = bed.sim().now();
+      auto r = co_await app.clients[client]->readdir(base);
+      lat->record(bed.sim().now() - t0);
+      co_return r.has_value();
+    }
+    auto r = co_await app.clients[client]->create(
+        base.child("f" + std::to_string(client) + "_" + std::to_string(index)),
+        fs::FileMode::file_default());
+    co_return r.has_value();
+  };
+  BarrierMixResult out;
+  out.total_kops =
+      harness::measure_throughput(bed.sim(), app.clients.size(), op, 20_ms, 120_ms)
+          .ops_per_sec() /
+      1e3;
+  out.mean_readdir_us = lat->mean() / 1e3;
+  out.readdirs = lat->count();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  harness::print_banner("Ablation: Barrier Commit Cost",
+                        "readdir (dependent op) mixed into a create storm; each barrier "
+                        "drains all commit queues region-wide.");
+  harness::SeriesTable table("8 nodes x 20 clients; one client mixes in readdirs",
+                             "readdir per N ops",
+                             {"total kops/s", "vs none", "readdir mean ms"});
+  const auto baseline = create_with_barrier_mix(8, 0);
+  table.add_row("none", {baseline.total_kops, 1.0, 0.0});
+  for (const int every : {200, 50, 10}) {
+    const auto r = create_with_barrier_mix(8, every);
+    table.add_row("1/" + std::to_string(every),
+                  {r.total_kops, r.total_kops / baseline.total_kops, r.mean_readdir_us / 1e3});
+  }
+  table.print();
+  std::cout << "\nA barrier stalls only its issuing client (the others keep absorbing ops\n"
+               "in the cache), so aggregate throughput barely moves -- but the dependent\n"
+               "operation itself pays the full epoch drain, which grows with the queue\n"
+               "backlog. Dependent-op-heavy workloads see that latency, not lost OPS.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Ablation: cache space management (Section III.F).
+// Shrinks the per-node cache and measures a create+stat working set under
+// pressure: the round-robin evictor must keep the region usable (evicted
+// entries reload from the DFS) while pending entries stay protected.
+#include "bench_common.h"
+
+using namespace pacon;
+using namespace pacon::bench;
+
+namespace {
+
+struct PressureResult {
+  double stat_kops = 0;
+  std::uint64_t evicted = 0;
+};
+
+PressureResult run_with_cache(std::uint64_t cache_bytes_per_node,
+                              core::EvictionPolicy policy = core::EvictionPolicy::round_robin) {
+  TestBedConfig cfg;
+  cfg.kind = SystemKind::pacon;
+  cfg.client_nodes = 4;
+  cfg.pacon_region.eviction_policy = policy;
+  cfg.pacon_region.cache.capacity_bytes = cache_bytes_per_node;
+  cfg.pacon_region.eviction_period = 2_ms;
+  cfg.pacon_region.eviction_high_water = 0.5;
+  cfg.pacon_region.eviction_low_water = 0.3;
+  TestBed bed(cfg);
+  App app = make_app(bed, "/bench", node_range(4), 10);
+
+  // Build a working set of 8 directories x 400 files per client group.
+  bool built = false;
+  bed.sim().spawn([](sim::Simulation& s, App& a, bool& done) -> sim::Task<> {
+    (void)s;
+    for (int d = 0; d < 8; ++d) {
+      (void)co_await a.clients[0]->mkdir(
+          fs::Path::parse("/bench").child("d" + std::to_string(d)),
+          fs::FileMode::dir_default());
+    }
+    std::vector<sim::Task<>> procs;
+    for (std::size_t c = 0; c < a.clients.size(); ++c) {
+      procs.push_back([](wl::MetaClient& mc, std::size_t id) -> sim::Task<> {
+        for (int i = 0; i < 400; ++i) {
+          (void)co_await mc.create(
+              fs::Path::parse("/bench")
+                  .child("d" + std::to_string(i % 8))
+                  .child("f" + std::to_string(id) + "_" + std::to_string(i)),
+              fs::FileMode::file_default());
+        }
+      }(*a.clients[c], c));
+    }
+    co_await sim::when_all(s, std::move(procs));
+    done = true;
+  }(bed.sim(), app, built));
+  while (!built) {
+    if (!bed.sim().step()) break;
+  }
+  bed.sim().run_for(200_ms);  // drain commits, let the evictor work
+
+  // Random stat over the working set under continued pressure.
+  auto op = [&app](std::size_t client, std::uint64_t index) -> sim::Task<bool> {
+    sim::Rng rng(client * 6151 + index);
+    const auto d = rng.uniform(8);
+    const auto who = rng.uniform(app.clients.size());
+    const auto i = d + rng.uniform(50) * 8;  // a file known to exist in d
+    auto r = co_await app.clients[client]->getattr(
+        fs::Path::parse("/bench")
+            .child("d" + std::to_string(d))
+            .child("f" + std::to_string(who) + "_" + std::to_string(i)));
+    co_return r.has_value();
+  };
+  PressureResult out;
+  out.stat_kops =
+      harness::measure_throughput(bed.sim(), app.clients.size(), op, 10_ms, 100_ms)
+          .ops_per_sec() /
+      1e3;
+  out.evicted = bed.pacon_region("/bench")->evicted_entries();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  harness::print_banner("Ablation: Cache Space Management",
+                        "Round-robin subtree eviction under shrinking caches; hit rate "
+                        "degrades gracefully, correctness holds.");
+  harness::SeriesTable table("random stat under pressure", "cache/node",
+                             {"stat kops/s", "evictions"});
+  for (const std::uint64_t bytes : {16ull << 20, 128ull << 10, 64ull << 10, 32ull << 10}) {
+    const auto r = run_with_cache(bytes);
+    table.add_row(std::to_string(bytes >> 10) + "KiB",
+                  {r.stat_kops, static_cast<double>(r.evicted)});
+  }
+  table.print();
+
+  // Policy comparison under the same pressure (Section III.F's argument:
+  // round-robin spreads victims; the naive fixed order re-evicts the same
+  // leading subtrees and thrashes them).
+  harness::SeriesTable policy("eviction policy at 64 KiB/node", "policy",
+                              {"stat kops/s", "evictions"});
+  const auto rr = run_with_cache(64ull << 10, core::EvictionPolicy::round_robin);
+  const auto fixed = run_with_cache(64ull << 10, core::EvictionPolicy::fixed_order);
+  policy.add_row("round_robin", {rr.stat_kops, static_cast<double>(rr.evicted)});
+  policy.add_row("fixed_order", {fixed.stat_kops, static_cast<double>(fixed.evicted)});
+  policy.print();
+  std::cout << "\nSmaller caches evict more and serve more stats from the DFS, but every "
+               "created file remains reachable.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Shared scenario plumbing for the figure benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "harness/testbed.h"
+#include "sim/combinators.h"
+#include "workload/mdtest.h"
+
+namespace pacon::bench {
+
+using namespace sim::literals;
+
+using harness::SystemKind;
+using harness::TestBed;
+using harness::TestBedConfig;
+
+inline fs::Credentials app_creds(int app_index = 0) {
+  return fs::Credentials{static_cast<fs::Uid>(1000 + app_index),
+                         static_cast<fs::Gid>(1000 + app_index)};
+}
+
+/// One application: a workspace plus `clients_per_node` MetaClients on each
+/// of the given nodes.
+struct App {
+  std::string workspace;
+  std::vector<std::unique_ptr<wl::MetaClient>> clients;
+};
+
+inline App make_app(TestBed& bed, const std::string& workspace,
+                    const std::vector<std::size_t>& nodes, int clients_per_node,
+                    int app_index = 0) {
+  App app;
+  app.workspace = workspace;
+  bed.provision_workspace(workspace, app_creds(app_index));
+  for (const std::size_t n : nodes) {
+    for (int c = 0; c < clients_per_node; ++c) {
+      app.clients.push_back(bed.make_client(n, workspace, app_creds(app_index), nodes));
+    }
+  }
+  return app;
+}
+
+inline std::vector<std::size_t> node_range(std::size_t count, std::size_t offset = 0) {
+  std::vector<std::size_t> out(count);
+  for (std::size_t i = 0; i < count; ++i) out[i] = offset + i;
+  return out;
+}
+
+/// Unique-name create loop over all clients of one app (mdtest create).
+inline harness::WindowResult measure_create(TestBed& bed, App& app, const std::string& tag,
+                                            sim::SimDuration warmup, sim::SimDuration window) {
+  auto op = [&app, tag](std::size_t client, std::uint64_t index) -> sim::Task<bool> {
+    const fs::Path path = fs::Path::parse(app.workspace)
+                              .child(tag + std::to_string(client) + "_" + std::to_string(index));
+    auto r = co_await app.clients[client]->create(path, fs::FileMode::file_default());
+    co_return r.has_value();
+  };
+  return harness::measure_throughput(bed.sim(), app.clients.size(), op, warmup, window);
+}
+
+/// Unique-name mkdir loop (mdtest mkdir phase).
+inline harness::WindowResult measure_mkdir(TestBed& bed, App& app, const std::string& tag,
+                                           sim::SimDuration warmup, sim::SimDuration window) {
+  auto op = [&app, tag](std::size_t client, std::uint64_t index) -> sim::Task<bool> {
+    const fs::Path path = fs::Path::parse(app.workspace)
+                              .child(tag + std::to_string(client) + "_" + std::to_string(index));
+    auto r = co_await app.clients[client]->mkdir(path, fs::FileMode::dir_default());
+    co_return r.has_value();
+  };
+  return harness::measure_throughput(bed.sim(), app.clients.size(), op, warmup, window);
+}
+
+/// Pre-creates `per_client` files, then measures random stat over them.
+inline harness::WindowResult measure_random_stat(TestBed& bed, App& app, int per_client,
+                                                 sim::SimDuration warmup,
+                                                 sim::SimDuration window) {
+  const fs::Path base = fs::Path::parse(app.workspace);
+  // Population phase (all clients concurrently, like the mdtest run order).
+  bool populated = false;
+  bed.sim().spawn([](sim::Simulation& s, App& a, fs::Path b, int n, bool& done) -> sim::Task<> {
+    std::vector<sim::Task<>> procs;
+    for (std::size_t c = 0; c < a.clients.size(); ++c) {
+      procs.push_back([](wl::MetaClient& mc, fs::Path bb, int rank, int count) -> sim::Task<> {
+        (void)co_await wl::mdtest_create_phase(mc, bb, rank, count);
+      }(*a.clients[c], b, static_cast<int>(c), n));
+    }
+    co_await sim::when_all(s, std::move(procs));
+    done = true;
+  }(bed.sim(), app, base, per_client, populated));
+  while (!populated) {
+    if (!bed.sim().step()) break;
+  }
+
+  const int total_clients = static_cast<int>(app.clients.size());
+  auto op = [&app, base, total_clients, per_client](std::size_t client,
+                                                    std::uint64_t index) -> sim::Task<bool> {
+    sim::Rng rng(client * 7919 + index);  // cheap per-op deterministic pick
+    const int who = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(total_clients)));
+    const int idx = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(per_client)));
+    auto r = co_await app.clients[client]->getattr(base.child(wl::item_name("file.", who, idx)));
+    co_return r.has_value();
+  };
+  return harness::measure_throughput(bed.sim(), app.clients.size(), op, warmup, window);
+}
+
+inline double kops(const harness::WindowResult& r) { return r.ops_per_sec() / 1e3; }
+
+}  // namespace pacon::bench

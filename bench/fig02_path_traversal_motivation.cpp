@@ -1,0 +1,62 @@
+// Figure 2 (motivation): path traversal cost on BeeGFS and IndexFS.
+// Random stat of leaf directories in a fanout-5 namespace of growing depth;
+// the paper reports >47% throughput loss by depth 6 (vs depth 3).
+#include "bench_common.h"
+
+using namespace pacon;
+using namespace pacon::bench;
+
+namespace {
+
+double stat_ops_at_depth(SystemKind kind, int depth) {
+  TestBedConfig cfg;
+  cfg.kind = kind;
+  cfg.client_nodes = 16;
+  TestBed bed(cfg);
+  App app = make_app(bed, "/bench", node_range(16), 1);  // 16 clients, 1/node
+
+  // Build the fanout-5 tree once with the first client.
+  std::vector<fs::Path> leaves;
+  bool built = false;
+  bed.sim().spawn([](wl::MetaClient& c, int d, std::vector<fs::Path>& out,
+                     bool& done) -> sim::Task<> {
+    out = co_await wl::build_tree(c, fs::Path::parse("/bench"), 5, d);
+    done = true;
+  }(*app.clients[0], depth, leaves, built));
+  while (!built) {
+    if (!bed.sim().step()) break;
+  }
+
+  auto op = [&app, &leaves](std::size_t client, std::uint64_t index) -> sim::Task<bool> {
+    sim::Rng rng(client * 104729 + index);
+    auto r = co_await app.clients[client]->getattr(leaves[rng.uniform(leaves.size())]);
+    co_return r.has_value();
+  };
+  return harness::measure_throughput(bed.sim(), app.clients.size(), op, 20_ms, 150_ms)
+      .ops_per_sec();
+}
+
+}  // namespace
+
+int main() {
+  harness::print_banner(
+      "Figure 2: Path Traversal Cost (motivation)",
+      "Random stat over fanout-5 leaf dirs; >47% loss at depth 6 vs depth 3 for the "
+      "baselines (BeeGFS worst).");
+
+  harness::SeriesTable table("Random stat throughput (kops/s) vs namespace depth", "depth",
+                             {"BeeGFS", "IndexFS"});
+  std::vector<double> beegfs, indexfs;
+  for (int depth = 3; depth <= 6; ++depth) {
+    beegfs.push_back(stat_ops_at_depth(SystemKind::beegfs, depth) / 1e3);
+    indexfs.push_back(stat_ops_at_depth(SystemKind::indexfs, depth) / 1e3);
+    table.add_row(std::to_string(depth), {beegfs.back(), indexfs.back()});
+  }
+  table.print();
+  std::cout << "\nLoss depth 3 -> 6:  BeeGFS "
+            << harness::SeriesTable::format_value(100.0 * (1.0 - beegfs.back() / beegfs.front()))
+            << "%   IndexFS "
+            << harness::SeriesTable::format_value(100.0 * (1.0 - indexfs.back() / indexfs.front()))
+            << "%   (paper: 63% / 47%)\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 7: single-application performance.
+// mkdir / create / random-stat throughput for BeeGFS, IndexFS and Pacon on
+// 2..16 client nodes with 20 clients per node (depth-1 namespace, one
+// consistent region). Paper: Pacon >76.4x BeeGFS and >8.8x IndexFS on
+// writes; >6.5x / >2.6x on stat.
+#include "bench_common.h"
+
+using namespace pacon;
+using namespace pacon::bench;
+
+namespace {
+
+enum class Op { mkdir_op, create_op, stat_op };
+
+double run_cell(SystemKind kind, Op op, std::size_t nodes) {
+  TestBedConfig cfg;
+  cfg.kind = kind;
+  cfg.client_nodes = nodes;
+  TestBed bed(cfg);
+  App app = make_app(bed, "/bench", node_range(nodes), 20);
+  switch (op) {
+    case Op::mkdir_op: return measure_mkdir(bed, app, "d", 20_ms, 150_ms).ops_per_sec();
+    case Op::create_op: return measure_create(bed, app, "f", 20_ms, 150_ms).ops_per_sec();
+    case Op::stat_op: return measure_random_stat(bed, app, 200, 10_ms, 60_ms).ops_per_sec();
+  }
+  return 0;
+}
+
+void run_op(const char* title, Op op) {
+  harness::SeriesTable table(title, "nodes(x20cli)", {"BeeGFS", "IndexFS", "Pacon"});
+  double last_beegfs = 0, last_indexfs = 0, last_pacon = 0;
+  for (const std::size_t nodes : {2u, 4u, 8u, 16u}) {
+    last_beegfs = run_cell(SystemKind::beegfs, op, nodes) / 1e3;
+    last_indexfs = run_cell(SystemKind::indexfs, op, nodes) / 1e3;
+    last_pacon = run_cell(SystemKind::pacon, op, nodes) / 1e3;
+    table.add_row(std::to_string(nodes), {last_beegfs, last_indexfs, last_pacon});
+  }
+  table.print();
+  harness::print_ratio("Pacon/BeeGFS at 16 nodes", last_pacon, last_beegfs);
+  harness::print_ratio("Pacon/IndexFS at 16 nodes", last_pacon, last_indexfs);
+}
+
+}  // namespace
+
+int main() {
+  harness::print_banner(
+      "Figure 7: Single-application Case",
+      "Writes: Pacon >76.4x BeeGFS, >8.8x IndexFS. Stat: >6.5x BeeGFS, >2.6x IndexFS.");
+  run_op("(a) mkdir throughput (kops/s)", Op::mkdir_op);
+  run_op("(b) create throughput (kops/s)", Op::create_op);
+  run_op("(c) random stat throughput (kops/s)", Op::stat_op);
+  return 0;
+}

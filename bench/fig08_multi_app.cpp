@@ -1,0 +1,112 @@
+// Figure 8: multi-application case.
+// 2..16 concurrent applications share the 16-node / 320-client cluster, each
+// on its own directory (its own consistent region under Pacon). Total
+// throughput across all apps. Paper: Pacon >10x BeeGFS and above IndexFS.
+#include "bench_common.h"
+
+using namespace pacon;
+using namespace pacon::bench;
+
+namespace {
+
+enum class Op { mkdir_op, create_op, stat_op };
+
+double run_cell(SystemKind kind, Op op, std::size_t n_apps) {
+  constexpr std::size_t kNodes = 16;
+  constexpr int kClientsPerNode = 20;
+  TestBedConfig cfg;
+  cfg.kind = kind;
+  cfg.client_nodes = kNodes;
+  TestBed bed(cfg);
+
+  // Nodes are evenly split among the applications.
+  const std::size_t nodes_per_app = kNodes / n_apps;
+  std::vector<App> apps;
+  for (std::size_t a = 0; a < n_apps; ++a) {
+    apps.push_back(make_app(bed, "/app" + std::to_string(a),
+                            node_range(nodes_per_app, a * nodes_per_app), kClientsPerNode,
+                            static_cast<int>(a)));
+  }
+  // Stat needs a population per app.
+  if (op == Op::stat_op) {
+    for (auto& app : apps) {
+      bool populated = false;
+      bed.sim().spawn([](sim::Simulation& s, App& ap, bool& done) -> sim::Task<> {
+        std::vector<sim::Task<>> procs;
+        for (std::size_t c = 0; c < ap.clients.size(); ++c) {
+          procs.push_back([](wl::MetaClient& mc, fs::Path b, int rank) -> sim::Task<> {
+            (void)co_await wl::mdtest_create_phase(mc, b, rank, 100);
+          }(*ap.clients[c], fs::Path::parse(ap.workspace), static_cast<int>(c)));
+        }
+        co_await sim::when_all(s, std::move(procs));
+        done = true;
+      }(bed.sim(), app, populated));
+      while (!populated) {
+        if (!bed.sim().step()) break;
+      }
+    }
+  }
+
+  // All apps run concurrently: one combined op factory over a flat client
+  // index space.
+  std::vector<std::pair<App*, std::size_t>> flat;  // (app, client-within-app)
+  for (auto& app : apps) {
+    for (std::size_t c = 0; c < app.clients.size(); ++c) flat.emplace_back(&app, c);
+  }
+  auto factory = [&flat, op](std::size_t i, std::uint64_t index) -> sim::Task<bool> {
+    auto [app, c] = flat[i];
+    const fs::Path base = fs::Path::parse(app->workspace);
+    switch (op) {
+      case Op::mkdir_op: {
+        auto r = co_await app->clients[c]->mkdir(
+            base.child("d" + std::to_string(c) + "_" + std::to_string(index)),
+            fs::FileMode::dir_default());
+        co_return r.has_value();
+      }
+      case Op::create_op: {
+        auto r = co_await app->clients[c]->create(
+            base.child("x" + std::to_string(c) + "_" + std::to_string(index)),
+            fs::FileMode::file_default());
+        co_return r.has_value();
+      }
+      case Op::stat_op: {
+        sim::Rng rng(i * 31337 + index);
+        const int who = static_cast<int>(rng.uniform(app->clients.size()));
+        const int idx = static_cast<int>(rng.uniform(100));
+        auto r = co_await app->clients[c]->getattr(base.child(wl::item_name("file.", who, idx)));
+        co_return r.has_value();
+      }
+    }
+    co_return false;
+  };
+  return harness::measure_throughput(bed.sim(), flat.size(), factory, 20_ms, 120_ms)
+      .ops_per_sec();
+}
+
+void run_op(const char* title, Op op) {
+  harness::SeriesTable table(title, "apps", {"BeeGFS", "IndexFS", "Pacon"});
+  for (const std::size_t apps : {2u, 4u, 8u, 16u}) {
+    const double b = run_cell(SystemKind::beegfs, op, apps) / 1e3;
+    const double x = run_cell(SystemKind::indexfs, op, apps) / 1e3;
+    const double p = run_cell(SystemKind::pacon, op, apps) / 1e3;
+    table.add_row(std::to_string(apps), {b, x, p});
+    if (apps == 16) {
+      harness::print_ratio("  Pacon/BeeGFS at 16 apps", p, b);
+      harness::print_ratio("  Pacon/IndexFS at 16 apps", p, x);
+    }
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  harness::print_banner(
+      "Figure 8: Multi-application Case",
+      "320 clients split across 2..16 apps on disjoint dirs; total kops/s. Pacon >10x "
+      "BeeGFS, above IndexFS.");
+  run_op("(a) mkdir total throughput (kops/s)", Op::mkdir_op);
+  run_op("(b) create total throughput (kops/s)", Op::create_op);
+  run_op("(c) random stat total throughput (kops/s)", Op::stat_op);
+  return 0;
+}

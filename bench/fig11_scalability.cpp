@@ -1,0 +1,61 @@
+// Figure 11: scalability.
+// File-creation throughput as clients grow 20..320 (client nodes grow with
+// them; Pacon and IndexFS services scale along). Normalized to the 1-client
+// case. Paper: at 320 clients Pacon's multiple is ~16.5x BeeGFS's and ~2.8x
+// IndexFS's, and Pacon exceeds 1M ops/s absolute.
+#include "bench_common.h"
+
+using namespace pacon;
+using namespace pacon::bench;
+
+namespace {
+
+double create_ops(SystemKind kind, std::size_t n_clients) {
+  const std::size_t nodes = std::max<std::size_t>(1, (n_clients + 19) / 20);
+  TestBedConfig cfg;
+  cfg.kind = kind;
+  cfg.client_nodes = nodes;  // services co-scale with the client cluster
+  TestBed bed(cfg);
+  const int per_node = static_cast<int>((n_clients + nodes - 1) / nodes);
+  App app = make_app(bed, "/bench", node_range(nodes), per_node);
+  while (app.clients.size() > n_clients) app.clients.pop_back();
+  return measure_create(bed, app, "f", 20_ms, 150_ms).ops_per_sec();
+}
+
+}  // namespace
+
+int main() {
+  harness::print_banner(
+      "Figure 11: Scalability",
+      "Normalized create throughput 1..320 clients; Pacon ~16.5x BeeGFS and ~2.8x "
+      "IndexFS multiples at 320; >1M ops/s absolute.");
+
+  const std::vector<std::size_t> counts{1, 20, 40, 80, 160, 320};
+  harness::SeriesTable norm("Throughput multiple vs 1 client", "clients",
+                            {"BeeGFS", "IndexFS", "Pacon"});
+  harness::SeriesTable abs("Absolute create throughput (kops/s)", "clients",
+                           {"BeeGFS", "IndexFS", "Pacon"});
+  std::map<SystemKind, double> base;
+  std::map<SystemKind, double> last;
+  for (const auto n : counts) {
+    std::vector<double> nrow, arow;
+    for (const auto kind : {SystemKind::beegfs, SystemKind::indexfs, SystemKind::pacon}) {
+      const double v = create_ops(kind, n);
+      if (n == 1) base[kind] = v;
+      last[kind] = v / base[kind];
+      nrow.push_back(v / base[kind]);
+      arow.push_back(v / 1e3);
+    }
+    norm.add_row(std::to_string(n), nrow);
+    abs.add_row(std::to_string(n), arow);
+  }
+  norm.print();
+  abs.print();
+  std::cout << '\n';
+  harness::print_ratio("Pacon multiple / BeeGFS multiple at 320",
+                       last[SystemKind::pacon], last[SystemKind::beegfs]);
+  harness::print_ratio("Pacon multiple / IndexFS multiple at 320",
+                       last[SystemKind::pacon], last[SystemKind::indexfs]);
+  std::cout << "(paper: ~16.5x and ~2.8x; Pacon >1M ops/s at 320 clients)\n";
+  return 0;
+}

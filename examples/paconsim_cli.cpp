@@ -1,0 +1,158 @@
+// paconsim: command-line scenario driver.
+//
+// Runs a metadata workload against a chosen system and prints throughput --
+// the quickest way to poke at the simulation without writing code.
+//
+//   ./build/examples/paconsim_cli [--system beegfs|indexfs|pacon]
+//                                 [--nodes N] [--clients-per-node M]
+//                                 [--op create|mkdir|stat] [--window-ms W]
+//                                 [--seed S]
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "harness/testbed.h"
+#include "sim/combinators.h"
+#include "workload/mdtest.h"
+
+using namespace pacon;
+using namespace pacon::sim::literals;
+using harness::SystemKind;
+
+namespace {
+
+struct Options {
+  SystemKind system = SystemKind::pacon;
+  std::size_t nodes = 4;
+  int clients_per_node = 10;
+  std::string op = "create";
+  std::uint64_t window_ms = 100;
+  std::uint64_t seed = 1;
+};
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--system") {
+      const char* v = next();
+      if (!v) return false;
+      if (std::strcmp(v, "beegfs") == 0) {
+        opt.system = SystemKind::beegfs;
+      } else if (std::strcmp(v, "indexfs") == 0) {
+        opt.system = SystemKind::indexfs;
+      } else if (std::strcmp(v, "pacon") == 0) {
+        opt.system = SystemKind::pacon;
+      } else {
+        return false;
+      }
+    } else if (arg == "--nodes") {
+      const char* v = next();
+      if (!v) return false;
+      opt.nodes = std::stoul(v);
+    } else if (arg == "--clients-per-node") {
+      const char* v = next();
+      if (!v) return false;
+      opt.clients_per_node = std::stoi(v);
+    } else if (arg == "--op") {
+      const char* v = next();
+      if (!v) return false;
+      opt.op = v;
+    } else if (arg == "--window-ms") {
+      const char* v = next();
+      if (!v) return false;
+      opt.window_ms = std::stoull(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      opt.seed = std::stoull(v);
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return false;
+    }
+  }
+  return opt.op == "create" || opt.op == "mkdir" || opt.op == "stat";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    std::cerr << "usage: paconsim_cli [--system beegfs|indexfs|pacon] [--nodes N]\n"
+                 "                    [--clients-per-node M] [--op create|mkdir|stat]\n"
+                 "                    [--window-ms W] [--seed S]\n";
+    return 2;
+  }
+
+  harness::TestBedConfig cfg;
+  cfg.kind = opt.system;
+  cfg.client_nodes = opt.nodes;
+  cfg.seed = opt.seed;
+  harness::TestBed bed(cfg);
+  const fs::Credentials creds{1000, 1000};
+  bed.provision_workspace("/ws", creds);
+
+  std::vector<std::unique_ptr<wl::MetaClient>> clients;
+  for (std::size_t n = 0; n < opt.nodes; ++n) {
+    for (int c = 0; c < opt.clients_per_node; ++c) {
+      clients.push_back(bed.make_client(n, "/ws", creds));
+    }
+  }
+  std::cout << "system=" << harness::to_string(opt.system) << " nodes=" << opt.nodes
+            << " clients=" << clients.size() << " op=" << opt.op
+            << " window=" << opt.window_ms << "ms seed=" << opt.seed << "\n";
+
+  // Stat needs a population first.
+  constexpr int kStatPopulation = 100;
+  if (opt.op == "stat") {
+    bool done = false;
+    bed.sim().spawn([](sim::Simulation& s, std::vector<std::unique_ptr<wl::MetaClient>>& cs,
+                       bool& fin) -> sim::Task<> {
+      std::vector<sim::Task<>> procs;
+      for (std::size_t c = 0; c < cs.size(); ++c) {
+        procs.push_back([](wl::MetaClient& mc, int rank) -> sim::Task<> {
+          (void)co_await wl::mdtest_create_phase(mc, fs::Path::parse("/ws"), rank,
+                                                 kStatPopulation);
+        }(*cs[c], static_cast<int>(c)));
+      }
+      co_await sim::when_all(s, std::move(procs));
+      fin = true;
+    }(bed.sim(), clients, done));
+    while (!done) {
+      if (!bed.sim().step()) break;
+    }
+  }
+
+  auto op_factory = [&](std::size_t i, std::uint64_t index) -> sim::Task<bool> {
+    wl::MetaClient& c = *clients[i];
+    const fs::Path base = fs::Path::parse("/ws");
+    if (opt.op == "mkdir") {
+      auto r = co_await c.mkdir(base.child("d" + std::to_string(i) + "_" + std::to_string(index)),
+                                fs::FileMode::dir_default());
+      co_return r.has_value();
+    }
+    if (opt.op == "stat") {
+      sim::Rng rng(i * 65521 + index);
+      const int who = static_cast<int>(rng.uniform(clients.size()));
+      const int idx = static_cast<int>(rng.uniform(kStatPopulation));
+      auto r = co_await c.getattr(base.child(wl::item_name("file.", who, idx)));
+      co_return r.has_value();
+    }
+    auto r = co_await c.create(base.child("f" + std::to_string(i) + "_" + std::to_string(index)),
+                               fs::FileMode::file_default());
+    co_return r.has_value();
+  };
+
+  const auto result = harness::measure_throughput(
+      bed.sim(), clients.size(), op_factory, 10_ms, opt.window_ms * 1_ms);
+  std::cout << "ops in window: " << result.ops << "\n"
+            << "throughput:    " << harness::SeriesTable::format_value(result.ops_per_sec() / 1e3)
+            << " kops/s\n"
+            << "events:        " << bed.sim().events_processed() << "\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// The value stored per path in Pacon's distributed metadata cache.
+//
+// Full path is the key (Section III.C); the value carries the attributes,
+// state flags, and -- for small files -- the inline data, so a single KV
+// request returns both metadata and data (Section III.D.2). Payload bytes
+// are synthetic: only their size is materialized.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "fs/types.h"
+
+namespace pacon::core {
+
+struct CachedMeta {
+  fs::InodeAttr attr{};
+  /// Entry was rm'd; kept (marked) until the remove commits to the DFS.
+  bool removed = false;
+  /// File outgrew the inline threshold; data lives on the DFS.
+  bool large_file = false;
+  /// Inline small-file payload size (synthetic contents).
+  std::uint64_t inline_bytes = 0;
+
+  friend bool operator==(const CachedMeta&, const CachedMeta&) = default;
+};
+
+/// Binary codec for cache values. Layout: attr | flags | inline_bytes.
+/// The encoded size includes the inline payload so the cache's memory
+/// accounting sees small files at their true footprint.
+inline std::string encode_meta(const CachedMeta& m) {
+  std::string out(sizeof(fs::InodeAttr) + 2 + sizeof(std::uint64_t), '\0');
+  std::memcpy(out.data(), &m.attr, sizeof(fs::InodeAttr));
+  out[sizeof(fs::InodeAttr)] = m.removed ? 1 : 0;
+  out[sizeof(fs::InodeAttr) + 1] = m.large_file ? 1 : 0;
+  std::memcpy(out.data() + sizeof(fs::InodeAttr) + 2, &m.inline_bytes, sizeof(std::uint64_t));
+  // Synthetic payload: occupy the bytes, do not fabricate contents.
+  out.append(m.inline_bytes, 'x');
+  return out;
+}
+
+inline std::optional<CachedMeta> decode_meta(const std::string& blob) {
+  constexpr std::size_t kHeader = sizeof(fs::InodeAttr) + 2 + sizeof(std::uint64_t);
+  if (blob.size() < kHeader) return std::nullopt;
+  CachedMeta m;
+  std::memcpy(&m.attr, blob.data(), sizeof(fs::InodeAttr));
+  m.removed = blob[sizeof(fs::InodeAttr)] != 0;
+  m.large_file = blob[sizeof(fs::InodeAttr) + 1] != 0;
+  std::memcpy(&m.inline_bytes, blob.data() + sizeof(fs::InodeAttr) + 2, sizeof(std::uint64_t));
+  if (blob.size() != kHeader + m.inline_bytes) return std::nullopt;
+  return m;
+}
+
+}  // namespace pacon::core

@@ -1,0 +1,36 @@
+// Messages flowing through the Pacon commit queue (paper Fig. 5/6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fs/types.h"
+#include "sim/time.h"
+
+namespace pacon::core {
+
+struct OpMessage {
+  enum class Kind : std::uint8_t {
+    mkdir,       // non-dependent: independent commit
+    create,      // non-dependent: independent commit (may carry inline size)
+    remove,      // non-dependent: independent commit
+    write_data,  // small-file backup-copy update
+    barrier,     // epoch boundary marker (one per client per barrier)
+  };
+
+  Kind kind = Kind::create;
+  std::string path;
+  fs::FileMode mode{};
+  fs::Credentials creds{};
+  /// write_data: bytes to push to the DFS; create: inline payload size.
+  std::uint64_t size = 0;
+  /// Barrier epoch this message belongs to (paper Section III.E.2).
+  std::uint64_t epoch = 0;
+  /// Region-wide client id of the publisher.
+  std::uint32_t client_id = 0;
+  sim::SimTime timestamp = 0;
+};
+
+constexpr bool is_barrier(const OpMessage& m) { return m.kind == OpMessage::Kind::barrier; }
+
+}  // namespace pacon::core

@@ -1,0 +1,242 @@
+#include "core/pacon.h"
+
+#include <cassert>
+
+namespace pacon::core {
+
+using fs::FsError;
+using fs::FsResult;
+
+ConsistentRegion& RegionRegistry::get_or_create(const RegionConfig& config) {
+  // Overlap resolution (paper use case 3): if an existing region encloses
+  // the requested workspace (or vice versa the request encloses nothing),
+  // the application joins the enclosing region.
+  if (ConsistentRegion* enclosing = containing(config.root)) return *enclosing;
+  auto [it, inserted] =
+      regions_.emplace(config.root, std::make_unique<ConsistentRegion>(sim_, fabric_, dfs_, config));
+  (void)inserted;
+  return *it->second;
+}
+
+ConsistentRegion* RegionRegistry::by_root(const fs::Path& root) {
+  auto it = regions_.find(root);
+  return it == regions_.end() ? nullptr : it->second.get();
+}
+
+ConsistentRegion* RegionRegistry::containing(const fs::Path& path) {
+  ConsistentRegion* best = nullptr;
+  std::size_t best_depth = 0;
+  for (auto& [root, region] : regions_) {
+    if (root.is_prefix_of(path) && (best == nullptr || root.depth() >= best_depth)) {
+      best = region.get();
+      best_depth = root.depth();
+    }
+  }
+  return best;
+}
+
+Pacon::Pacon(PaconRuntime& rt, net::NodeId node, PaconConfig config)
+    : rt_(rt),
+      node_(node),
+      config_(std::move(config)),
+      region_(nullptr),
+      client_id_(0),
+      parent_hints_(config_.parent_hint_capacity, config_.parent_hint_ttl) {
+  assert(config_.workspace.valid() && !config_.workspace.is_root());
+  RegionConfig region_cfg = config_.region;
+  region_cfg.root = config_.workspace;
+  region_cfg.nodes = config_.nodes;
+  region_cfg.creds = config_.creds;
+  if (region_cfg.normal_permission.uid == 0 && region_cfg.normal_permission.gid == 0) {
+    // Default batch permission: the workspace belongs to the application's
+    // system user (Section III.C's Linux-like default).
+    region_cfg.normal_permission = PermissionSpec{fs::FileMode::dir_default(),
+                                                  config_.creds.uid, config_.creds.gid};
+  }
+  region_ = &rt_.registry.get_or_create(region_cfg);
+  client_id_ = region_->register_client(node_);
+  dfs::DfsClientConfig dfs_cfg;
+  dfs_cfg.creds = config_.creds;
+  dfs_fallback_ = std::make_unique<dfs::DfsClient>(rt_.sim, rt_.dfs, node_, dfs_cfg);
+  hints_valid_at_ = region_->invalidation_epoch();
+}
+
+Pacon::Route Pacon::route_of(const fs::Path& path, ConsistentRegion** which) {
+  if (region_->contains(path)) {
+    *which = region_;
+    return Route::own_region;
+  }
+  for (ConsistentRegion* merged : merged_) {
+    if (merged->contains(path)) {
+      *which = merged;
+      return Route::merged_region;
+    }
+  }
+  *which = nullptr;
+  return Route::dfs;
+}
+
+void Pacon::refresh_hints() {
+  if (hints_valid_at_ != region_->invalidation_epoch()) {
+    parent_hints_.clear();
+    hints_valid_at_ = region_->invalidation_epoch();
+  }
+}
+
+sim::Task<FsResult<void>> Pacon::mkdir(const fs::Path& path, fs::FileMode mode) {
+  ConsistentRegion* region = nullptr;
+  switch (route_of(path, &region)) {
+    case Route::own_region: {
+      refresh_hints();
+      const bool parent_known =
+          parent_hints_.find(path.parent().str(), rt_.sim.now()) != nullptr;
+      auto r = co_await region->mkdir(node_, client_id_, path, mode, parent_known);
+      if (r) {
+        parent_hints_.insert(path.str(), 1, rt_.sim.now());
+        parent_hints_.insert(path.parent().str(), 1, rt_.sim.now());
+      }
+      co_return r;
+    }
+    case Route::merged_region:
+      co_return fs::fail(FsError::permission);  // merged regions are read-only
+    case Route::dfs: {
+      auto r = co_await dfs_fallback_->mkdir(path, mode);
+      if (!r) co_return fs::fail(r.error());
+      co_return FsResult<void>{};
+    }
+  }
+  co_return fs::fail(FsError::invalid);
+}
+
+sim::Task<FsResult<void>> Pacon::create(const fs::Path& path, fs::FileMode mode) {
+  ConsistentRegion* region = nullptr;
+  switch (route_of(path, &region)) {
+    case Route::own_region: {
+      refresh_hints();
+      const bool parent_known =
+          parent_hints_.find(path.parent().str(), rt_.sim.now()) != nullptr;
+      auto r = co_await region->create(node_, client_id_, path, mode, parent_known);
+      if (r) parent_hints_.insert(path.parent().str(), 1, rt_.sim.now());
+      co_return r;
+    }
+    case Route::merged_region:
+      co_return fs::fail(FsError::permission);
+    case Route::dfs: {
+      auto r = co_await dfs_fallback_->create(path, mode);
+      if (!r) co_return fs::fail(r.error());
+      co_return FsResult<void>{};
+    }
+  }
+  co_return fs::fail(FsError::invalid);
+}
+
+sim::Task<FsResult<fs::InodeAttr>> Pacon::getattr(const fs::Path& path) {
+  ConsistentRegion* region = nullptr;
+  switch (route_of(path, &region)) {
+    case Route::own_region:
+    case Route::merged_region:
+      co_return co_await region->getattr(node_, path);
+    case Route::dfs:
+      co_return co_await dfs_fallback_->getattr(path);
+  }
+  co_return fs::fail(FsError::invalid);
+}
+
+sim::Task<FsResult<void>> Pacon::remove(const fs::Path& path) {
+  ConsistentRegion* region = nullptr;
+  switch (route_of(path, &region)) {
+    case Route::own_region:
+      co_return co_await region->remove(node_, client_id_, path);
+    case Route::merged_region:
+      co_return fs::fail(FsError::permission);
+    case Route::dfs:
+      co_return co_await dfs_fallback_->unlink(path);
+  }
+  co_return fs::fail(FsError::invalid);
+}
+
+sim::Task<FsResult<void>> Pacon::rmdir(const fs::Path& path) {
+  ConsistentRegion* region = nullptr;
+  switch (route_of(path, &region)) {
+    case Route::own_region:
+      co_return co_await region->rmdir(node_, client_id_, path);
+    case Route::merged_region:
+      co_return fs::fail(FsError::permission);
+    case Route::dfs:
+      co_return co_await dfs_fallback_->rmdir(path);
+  }
+  co_return fs::fail(FsError::invalid);
+}
+
+sim::Task<FsResult<std::vector<fs::DirEntry>>> Pacon::readdir(const fs::Path& path) {
+  ConsistentRegion* region = nullptr;
+  switch (route_of(path, &region)) {
+    case Route::own_region:
+    case Route::merged_region:
+      co_return co_await region->readdir(node_, client_id_, path);
+    case Route::dfs:
+      co_return co_await dfs_fallback_->readdir(path);
+  }
+  co_return fs::fail(FsError::invalid);
+}
+
+sim::Task<FsResult<std::uint64_t>> Pacon::write(const fs::Path& path, std::uint64_t offset,
+                                                std::uint64_t length) {
+  ConsistentRegion* region = nullptr;
+  switch (route_of(path, &region)) {
+    case Route::own_region:
+      co_return co_await region->write(node_, client_id_, path, offset, length);
+    case Route::merged_region:
+      co_return fs::fail(FsError::permission);
+    case Route::dfs:
+      co_return co_await dfs_fallback_->write(path, offset, length);
+  }
+  co_return fs::fail(FsError::invalid);
+}
+
+sim::Task<FsResult<std::uint64_t>> Pacon::read(const fs::Path& path, std::uint64_t offset,
+                                               std::uint64_t length) {
+  ConsistentRegion* region = nullptr;
+  switch (route_of(path, &region)) {
+    case Route::own_region:
+    case Route::merged_region:
+      co_return co_await region->read(node_, path, offset, length);
+    case Route::dfs:
+      co_return co_await dfs_fallback_->read(path, offset, length);
+  }
+  co_return fs::fail(FsError::invalid);
+}
+
+sim::Task<FsResult<void>> Pacon::fsync(const fs::Path& path) {
+  ConsistentRegion* region = nullptr;
+  switch (route_of(path, &region)) {
+    case Route::own_region:
+      co_return co_await region->fsync(node_, path);
+    case Route::merged_region:
+      co_return fs::fail(FsError::permission);
+    case Route::dfs:
+      co_return co_await dfs_fallback_->fsync(path);
+  }
+  co_return fs::fail(FsError::invalid);
+}
+
+sim::Task<FsResult<void>> Pacon::merge_region(const fs::Path& other_root) {
+  ConsistentRegion* other = rt_.registry.by_root(other_root);
+  if (!other) co_return fs::fail(FsError::not_found);
+  if (other == region_) co_return FsResult<void>{};
+  // Step 1 of the merge: fetch the region's basic information; step 2:
+  // connect to its distributed cache. One round trip to its first node.
+  co_await rt_.sim.delay(2 * rt_.fabric.one_way(node_, other->config().nodes.front(), 512));
+  if (std::find(merged_.begin(), merged_.end(), other) == merged_.end()) {
+    merged_.push_back(other);
+  }
+  co_return FsResult<void>{};
+}
+
+sim::Task<FsResult<std::uint64_t>> Pacon::checkpoint() { return region_->checkpoint(client_id_); }
+
+sim::Task<FsResult<void>> Pacon::restore(std::uint64_t id) { return region_->restore(id); }
+
+sim::Task<> Pacon::drain() { return region_->drain(client_id_); }
+
+}  // namespace pacon::core

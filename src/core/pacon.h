@@ -1,0 +1,134 @@
+// Pacon public API: the library an HPC application links against
+// (paper Section III.B).
+//
+// An application configures Pacon with its workspace path and the nodes it
+// runs on; Pacon launches (or joins) the workspace's consistent region --
+// distributed metadata cache, commit queues, permission table -- and then
+// serves basic file interfaces. Operations on paths inside the workspace go
+// through the region (strong consistency); operations on merged regions are
+// served read-only from their caches; anything else is redirected to the
+// underlying DFS (weak consistency), subject to the DFS's own checks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/region.h"
+#include "dfs/client.h"
+#include "fs/lru_cache.h"
+
+namespace pacon::core {
+
+/// Owns every consistent region of the deployment and resolves which region
+/// (if any) governs a path. In the prototype this is the directory service
+/// applications query when merging regions.
+class RegionRegistry {
+ public:
+  RegionRegistry(sim::Simulation& sim, net::Fabric& fabric, dfs::DfsCluster& dfs)
+      : sim_(sim), fabric_(fabric), dfs_(dfs) {}
+  RegionRegistry(const RegionRegistry&) = delete;
+  RegionRegistry& operator=(const RegionRegistry&) = delete;
+
+  /// Returns the region rooted at `config.root`, creating it on first use.
+  /// Overlapping workspaces resolve to the enclosing region (paper use case
+  /// 3: treat both applications as running in the larger region).
+  ConsistentRegion& get_or_create(const RegionConfig& config);
+
+  /// Region rooted exactly at `root`, or nullptr.
+  ConsistentRegion* by_root(const fs::Path& root);
+
+  /// Deepest region whose workspace contains `path`, or nullptr.
+  ConsistentRegion* containing(const fs::Path& path);
+
+  std::size_t region_count() const { return regions_.size(); }
+
+ private:
+  sim::Simulation& sim_;
+  net::Fabric& fabric_;
+  dfs::DfsCluster& dfs_;
+  std::map<fs::Path, std::unique_ptr<ConsistentRegion>> regions_;
+};
+
+/// Everything a Pacon instance needs from its environment.
+struct PaconRuntime {
+  sim::Simulation& sim;
+  net::Fabric& fabric;
+  dfs::DfsCluster& dfs;
+  RegionRegistry& registry;
+};
+
+struct PaconConfig {
+  /// The application workspace (consistent-region root).
+  fs::Path workspace;
+  /// Nodes the application runs on (region members). Only consulted when
+  /// this client is the first to initialize the workspace's region.
+  std::vector<net::NodeId> nodes;
+  fs::Credentials creds{};
+  /// Region tuning; root/nodes/creds are overwritten from the fields above.
+  RegionConfig region{};
+  /// Client-local hint cache: parents this client recently confirmed, which
+  /// saves the cache round trip on back-to-back creates in one directory.
+  /// Invalidated region-wide whenever anything is removed.
+  std::size_t parent_hint_capacity = 1024;
+  sim::SimDuration parent_hint_ttl = 100_ms;
+};
+
+class Pacon {
+ public:
+  /// Initializes Pacon for one application process on `node`.
+  Pacon(PaconRuntime& rt, net::NodeId node, PaconConfig config);
+  Pacon(const Pacon&) = delete;
+  Pacon& operator=(const Pacon&) = delete;
+
+  net::NodeId node() const { return node_; }
+  ConsistentRegion& region() { return *region_; }
+
+  // ---- Basic file interfaces (paper Table I) ------------------------------
+
+  sim::Task<fs::FsResult<void>> mkdir(const fs::Path& path, fs::FileMode mode);
+  sim::Task<fs::FsResult<void>> create(const fs::Path& path, fs::FileMode mode);
+  sim::Task<fs::FsResult<fs::InodeAttr>> getattr(const fs::Path& path);
+  sim::Task<fs::FsResult<void>> remove(const fs::Path& path);
+  sim::Task<fs::FsResult<void>> rmdir(const fs::Path& path);
+  sim::Task<fs::FsResult<std::vector<fs::DirEntry>>> readdir(const fs::Path& path);
+  sim::Task<fs::FsResult<std::uint64_t>> write(const fs::Path& path, std::uint64_t offset,
+                                               std::uint64_t length);
+  sim::Task<fs::FsResult<std::uint64_t>> read(const fs::Path& path, std::uint64_t offset,
+                                              std::uint64_t length);
+  sim::Task<fs::FsResult<void>> fsync(const fs::Path& path);
+
+  // ---- Consistent-region operations (paper Section III.D.4, III.G) --------
+
+  /// Grants this application a consistent read-only view of another
+  /// workspace by connecting to its region (merge interface).
+  sim::Task<fs::FsResult<void>> merge_region(const fs::Path& other_root);
+
+  /// Checkpoints the workspace subtree; returns the checkpoint id.
+  sim::Task<fs::FsResult<std::uint64_t>> checkpoint();
+
+  /// Rolls the workspace back to a checkpoint and rebuilds the cache.
+  sim::Task<fs::FsResult<void>> restore(std::uint64_t id);
+
+  /// Waits until every queued operation reached the DFS.
+  sim::Task<> drain();
+
+ private:
+  enum class Route { own_region, merged_region, dfs };
+  Route route_of(const fs::Path& path, ConsistentRegion** which);
+
+  void refresh_hints();
+
+  PaconRuntime& rt_;
+  net::NodeId node_;
+  PaconConfig config_;
+  ConsistentRegion* region_;
+  std::uint32_t client_id_;
+  std::vector<ConsistentRegion*> merged_;
+  std::unique_ptr<dfs::DfsClient> dfs_fallback_;
+  fs::LruTtlCache<char> parent_hints_;
+  std::uint64_t hints_valid_at_ = 0;  // region invalidation counter snapshot
+};
+
+}  // namespace pacon::core

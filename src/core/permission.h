@@ -1,0 +1,66 @@
+// Batch permission management (paper Section III.C).
+//
+// Instead of traversing the path and checking every ancestor, a consistent
+// region carries one *normal* permission spec covering most of its namespace
+// plus a *special list* of paths with different settings. A check is a local
+// match: exact special entry, else nearest special ancestor, else normal.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "fs/path.h"
+#include "fs/types.h"
+
+namespace pacon::core {
+
+struct PermissionSpec {
+  fs::FileMode mode = fs::FileMode::dir_default();
+  fs::Uid uid = 0;
+  fs::Gid gid = 0;
+};
+
+class PermissionTable {
+ public:
+  /// Default: everything in the workspace readable/writable/executable by
+  /// the creator (the paper's Linux-like default).
+  PermissionTable() = default;
+  explicit PermissionTable(PermissionSpec normal) : normal_(normal) {}
+
+  const PermissionSpec& normal() const { return normal_; }
+
+  void set_normal(PermissionSpec spec) { normal_ = spec; }
+
+  /// Registers a special setting for `path` (applies to its subtree until a
+  /// deeper special entry overrides it).
+  void add_special(const fs::Path& path, PermissionSpec spec) { special_[path] = spec; }
+
+  void remove_special(const fs::Path& path) { special_.erase(path); }
+
+  std::size_t special_count() const { return special_.size(); }
+
+  /// The spec governing `path`: deepest special ancestor-or-self, else normal.
+  const PermissionSpec& spec_for(const fs::Path& path) const {
+    // Walk up from the path itself; the map is small (special cases only),
+    // so ancestor probes are cheap exact lookups.
+    fs::Path probe = path;
+    for (;;) {
+      if (auto it = special_.find(probe); it != special_.end()) return it->second;
+      if (probe.is_root()) break;
+      probe = probe.parent();
+    }
+    return normal_;
+  }
+
+  /// The batch permission check: one local match, no traversal.
+  bool check(const fs::Path& path, const fs::Credentials& creds, fs::Access access) const {
+    const PermissionSpec& spec = spec_for(path);
+    return fs::permits(spec.mode, spec.uid, spec.gid, creds, access);
+  }
+
+ private:
+  PermissionSpec normal_{};
+  std::map<fs::Path, PermissionSpec> special_;
+};
+
+}  // namespace pacon::core

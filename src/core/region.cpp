@@ -1,0 +1,806 @@
+#include "core/region.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <set>
+
+#include "sim/combinators.h"
+
+namespace pacon::core {
+
+using fs::FsError;
+using fs::FsResult;
+
+namespace {
+
+/// Key prefix covering the subtree strictly under `dir` plus the dir itself.
+std::string subtree_prefix(const fs::Path& dir) {
+  return dir.is_root() ? std::string("/") : dir.str() + "/";
+}
+
+}  // namespace
+
+ConsistentRegion::ConsistentRegion(sim::Simulation& sim, net::Fabric& fabric,
+                                   dfs::DfsCluster& dfs, RegionConfig config)
+    : sim_(sim),
+      fabric_(fabric),
+      dfs_(dfs),
+      config_(std::move(config)),
+      permissions_(config_.normal_permission),
+      epochs_(sim, config_.nodes.size()),
+      barrier_mutex_(sim),
+      drained_gate_(sim) {
+  if (!config_.root.valid() || config_.nodes.empty()) {
+    throw std::invalid_argument("ConsistentRegion: workspace path and nodes are required");
+  }
+
+  // The region's evictor owns space management; the cache daemons must not
+  // drop entries behind its back (Section III.F).
+  kv::KvConfig cache_cfg = config_.cache;
+  cache_cfg.lru_eviction = false;
+  cache_ = std::make_unique<kv::MemCacheCluster>(sim_, fabric_, cache_cfg);
+  bus_ = std::make_unique<net::PubSubBus<OpMessage>>(sim_, fabric_);
+
+  for (const auto node : config_.nodes) {
+    cache_->add_server(node);
+    auto state = std::make_unique<NodeState>();
+    state->node = node;
+    state->queue = bus_->subscribe(node_topic(node), node);
+    dfs::DfsClientConfig dfs_cfg;
+    dfs_cfg.creds = config_.creds;
+    state->dfs_client = std::make_unique<dfs::DfsClient>(sim_, dfs_, node, dfs_cfg);
+    state->ordered = std::make_unique<sim::Channel<OpMessage>>(sim_);
+    state->retry_queue = std::make_unique<sim::Channel<OpMessage>>(sim_);
+    state->spill_disk = std::make_unique<sim::SimDisk>(sim_, sim::DiskConfig::nvme());
+    node_states_.push_back(std::move(state));
+    sim_.spawn(sorter_loop(*node_states_.back()));
+    sim_.spawn(committer_loop(*node_states_.back()));
+    sim_.spawn(retry_loop(*node_states_.back()));
+  }
+  sim_.spawn(evictor_loop());
+}
+
+ConsistentRegion::NodeState& ConsistentRegion::state_for(net::NodeId node) {
+  auto it = std::find_if(node_states_.begin(), node_states_.end(),
+                         [node](const auto& s) { return s->node == node; });
+  assert(it != node_states_.end() && "operation issued from a non-member node");
+  return **it;
+}
+
+fs::Path ConsistentRegion::checkpoint_path(std::uint64_t id) const {
+  std::string tag = config_.root.str();
+  std::replace(tag.begin(), tag.end(), '/', '_');
+  return fs::Path::parse("/.pacon").child("ckpt" + tag + "_" + std::to_string(id));
+}
+
+void ConsistentRegion::pending_decrement(const std::string& path) {
+  auto it = pending_by_path_.find(path);
+  if (it != pending_by_path_.end() && --it->second == 0) pending_by_path_.erase(it);
+  if (pending_total_ > 0 && --pending_total_ == 0) drained_gate_.open();
+}
+
+ConsistentRegion::~ConsistentRegion() { stop_evictor_ = true; }
+
+std::string ConsistentRegion::node_topic(net::NodeId node) const {
+  return config_.root.str() + "#" + std::to_string(node.value);
+}
+
+std::uint32_t ConsistentRegion::register_client(net::NodeId node) {
+  auto it = std::find_if(node_states_.begin(), node_states_.end(),
+                         [node](const auto& s) { return s->node == node; });
+  assert(it != node_states_.end() && "client node must be a region member");
+  const std::uint32_t id = next_client_id_++;
+  clients_[id] = it->get();
+  client_epochs_[id] = epochs_.current_epoch();
+  ++(*it)->client_count;
+  return id;
+}
+
+// ---- Permission & parent checks -------------------------------------------
+
+sim::Task<FsResult<void>> ConsistentRegion::check_permission(net::NodeId from,
+                                                             const fs::Path& path,
+                                                             fs::Access access) {
+  if (config_.batch_permission) {
+    // One local match against the predefined table (Section III.C).
+    co_await sim_.delay(config_.permission_check_cpu);
+    if (!permissions_.check(path, config_.creds, access)) {
+      co_return fs::fail(FsError::permission);
+    }
+    co_return FsResult<void>{};
+  }
+  // Ablation: hierarchical checking -- walk every ancestor inside the region
+  // through the distributed cache (or DFS on miss), the traversal Pacon is
+  // designed to avoid.
+  std::vector<fs::Path> chain;
+  for (fs::Path p = path; contains(p); p = p.parent()) {
+    chain.push_back(p);
+    if (p == config_.root) break;
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const bool leaf = (*it == path);
+    const fs::Access want = leaf ? access : fs::Access::execute;
+    auto meta = co_await cache_get(from, it->str());
+    if (meta) {
+      if (!fs::permits(meta->attr.mode, meta->attr.uid, meta->attr.gid, config_.creds, want)) {
+        co_return fs::fail(FsError::permission);
+      }
+      continue;
+    }
+    // Not cached: consult the DFS (charges full traversal there).
+    auto attr = co_await state_for(from).dfs_client->getattr(*it);
+    if (!attr) {
+      if (leaf) continue;  // leaf may be about to be created
+      co_return fs::fail(attr.error());
+    }
+    if (!fs::permits(attr->mode, attr->uid, attr->gid, config_.creds, want)) {
+      co_return fs::fail(FsError::permission);
+    }
+  }
+  co_return FsResult<void>{};
+}
+
+sim::Task<FsResult<void>> ConsistentRegion::check_parent(net::NodeId from,
+                                                         const fs::Path& path) {
+  const fs::Path parent = path.parent();
+  if (!contains(parent)) co_return FsResult<void>{};  // workspace root's parent
+  auto meta = co_await cache_get(from, parent.str());
+  if (meta) {
+    if (meta->removed) co_return fs::fail(FsError::not_found);
+    if (!meta->attr.is_dir()) co_return fs::fail(FsError::not_a_directory);
+    co_return FsResult<void>{};
+  }
+  if (!config_.parent_check) co_return FsResult<void>{};
+  // Parent exists on the DFS but is not cached: synchronous check + load.
+  auto attr = co_await state_for(from).dfs_client->getattr(parent);
+  if (!attr) co_return fs::fail(attr.error());
+  if (!attr->is_dir()) co_return fs::fail(FsError::not_a_directory);
+  CachedMeta meta_new;
+  meta_new.attr = *attr;
+  (void)co_await cache_->add(from, parent.str(), encode_meta(meta_new));
+  co_return FsResult<void>{};
+}
+
+// ---- Cache helpers ----------------------------------------------------------
+
+sim::Task<std::optional<CachedMeta>> ConsistentRegion::cache_get(net::NodeId from,
+                                                                 const std::string& key) {
+  const auto resp = co_await cache_->get(from, key);
+  if (resp.status != kv::KvStatus::ok) co_return std::nullopt;
+  co_return decode_meta(resp.value);
+}
+
+void ConsistentRegion::publish(std::uint32_t client, OpMessage msg) {
+  NodeState* home = clients_.at(client);
+  msg.client_id = client;
+  msg.epoch = client_epochs_.at(client);
+  msg.timestamp = sim_.now();
+  if (!is_barrier(msg)) {
+    ++pending_by_path_[msg.path];
+    ++pending_total_;
+  }
+  bus_->publish(home->node, node_topic(home->node), msg);
+}
+
+// ---- Create / mkdir ----------------------------------------------------------
+
+sim::Task<FsResult<void>> ConsistentRegion::create_common(net::NodeId from,
+                                                          std::uint32_t client,
+                                                          const fs::Path& path,
+                                                          fs::FileMode mode,
+                                                          fs::FileType type,
+                                                          bool parent_known) {
+  auto perm = co_await check_permission(from, path.parent(), fs::Access::write);
+  if (!perm) co_return perm;
+  if (!parent_known) {
+    auto parent_ok = co_await check_parent(from, path);
+    if (!parent_ok) co_return parent_ok;
+  }
+
+  CachedMeta meta;
+  meta.attr.ino = 0;  // assigned by the DFS at commit; unused inside the cache
+  meta.attr.type = type;
+  meta.attr.mode = mode;
+  meta.attr.uid = config_.creds.uid;
+  meta.attr.gid = config_.creds.gid;
+  meta.attr.nlink = type == fs::FileType::directory ? 2 : 1;
+  meta.attr.ctime = sim_.now();
+  meta.attr.mtime = sim_.now();
+  const auto resp = co_await cache_->add(from, path.str(), encode_meta(meta));
+  if (resp.status == kv::KvStatus::exists) {
+    // A marked-removed entry may be awaiting its remove commit; replacing it
+    // would resurrect ordering problems, so surface EEXIST until then.
+    co_return fs::fail(FsError::exists);
+  }
+  if (resp.status != kv::KvStatus::ok) co_return fs::fail(FsError::no_space);
+
+  OpMessage op;
+  op.kind = type == fs::FileType::directory ? OpMessage::Kind::mkdir : OpMessage::Kind::create;
+  op.path = path.str();
+  op.mode = mode;
+  op.creds = config_.creds;
+  if (config_.async_commit) {
+    co_await sim_.delay(config_.queue_publish_cpu);
+    publish(client, op);
+    co_return FsResult<void>{};
+  }
+  // Ablation: synchronous commit through this node's DFS client.
+  dfs::DfsClient& io = *state_for(from).dfs_client;
+  auto committed = type == fs::FileType::directory ? co_await io.mkdir(path, mode)
+                                                   : co_await io.create(path, mode);
+  if (!committed) co_return fs::fail(committed.error());
+  co_return FsResult<void>{};
+}
+
+sim::Task<FsResult<void>> ConsistentRegion::mkdir(net::NodeId from, std::uint32_t client,
+                                                  const fs::Path& path, fs::FileMode mode,
+                                                  bool parent_known) {
+  return create_common(from, client, path, mode, fs::FileType::directory, parent_known);
+}
+
+sim::Task<FsResult<void>> ConsistentRegion::create(net::NodeId from, std::uint32_t client,
+                                                   const fs::Path& path, fs::FileMode mode,
+                                                   bool parent_known) {
+  return create_common(from, client, path, mode, fs::FileType::file, parent_known);
+}
+
+// ---- getattr ------------------------------------------------------------------
+
+sim::Task<FsResult<fs::InodeAttr>> ConsistentRegion::getattr(net::NodeId from,
+                                                             const fs::Path& path) {
+  auto perm = co_await check_permission(from, path, fs::Access::read);
+  if (!perm) co_return fs::fail(perm.error());
+  auto meta = co_await cache_get(from, path.str());
+  if (meta) {
+    if (meta->removed) co_return fs::fail(FsError::not_found);
+    co_return meta->attr;
+  }
+  // Miss: synchronously load from the DFS (Table I: getattr on miss).
+  auto attr = co_await state_for(from).dfs_client->getattr(path);
+  if (!attr) co_return fs::fail(attr.error());
+  CachedMeta loaded;
+  loaded.attr = *attr;
+  loaded.large_file = attr->size > config_.small_file_threshold;
+  (void)co_await cache_->add(from, path.str(), encode_meta(loaded));
+  co_return *attr;
+}
+
+// ---- remove (rm) ----------------------------------------------------------------
+
+sim::Task<FsResult<void>> ConsistentRegion::remove(net::NodeId from, std::uint32_t client,
+                                                   const fs::Path& path) {
+  auto perm = co_await check_permission(from, path.parent(), fs::Access::write);
+  if (!perm) co_return perm;
+
+  // CAS loop: mark the entry removed (Table I: rm = update & delete; the
+  // cached copy is deleted by the commit process once the DFS applied it).
+  for (;;) {
+    const auto cur = co_await cache_->get(from, path.str());
+    if (cur.status == kv::KvStatus::not_found) {
+      // Not cached: verify against the DFS before queueing the remove.
+      auto attr = co_await state_for(from).dfs_client->getattr(path);
+      if (!attr) co_return fs::fail(attr.error());
+      if (attr->is_dir()) co_return fs::fail(FsError::is_a_directory);
+      CachedMeta marked;
+      marked.attr = *attr;
+      marked.removed = true;
+      const auto added = co_await cache_->add(from, path.str(), encode_meta(marked));
+      if (added.status != kv::KvStatus::ok) continue;  // raced; retry
+      break;
+    }
+    auto meta = decode_meta(cur.value);
+    if (!meta) co_return fs::fail(FsError::io);
+    if (meta->removed) co_return fs::fail(FsError::not_found);
+    if (meta->attr.is_dir()) co_return fs::fail(FsError::is_a_directory);
+    meta->removed = true;
+    const auto swapped =
+        co_await cache_->cas(from, path.str(), encode_meta(*meta), cur.cas);
+    if (swapped.status == kv::KvStatus::ok) break;
+    // cas_mismatch or concurrent delete: retry the whole read-modify-write.
+  }
+
+  ++invalidation_epoch_;
+  OpMessage op;
+  op.kind = OpMessage::Kind::remove;
+  op.path = path.str();
+  op.creds = config_.creds;
+  if (config_.async_commit) {
+    co_await sim_.delay(config_.queue_publish_cpu);
+    publish(client, op);
+    co_return FsResult<void>{};
+  }
+  auto done = co_await state_for(from).dfs_client->unlink(path);
+  (void)co_await cache_->del(from, path.str());
+  if (!done) co_return fs::fail(done.error());
+  co_return FsResult<void>{};
+}
+
+// ---- Dependent operations: rmdir / readdir ------------------------------------
+
+sim::Task<std::uint64_t> ConsistentRegion::run_barrier(net::NodeId from) {
+  co_await barrier_mutex_.lock();
+  const std::uint64_t e = epochs_.current_epoch();
+  // Only live nodes that actually host clients owe a barrier report; a node
+  // without publishers has a trivially drained queue, and a crashed node
+  // will never report (its queued work is already lost).
+  std::size_t participating = 0;
+  for (const auto& state : node_states_) {
+    if (state->alive && state->client_count > 0) ++participating;
+  }
+  epochs_.set_node_count(participating);
+  if (participating == 0) {
+    ++barriers_run_;
+    co_return e;
+  }
+  // Broadcast: every client pushes a barrier message and enters epoch e+1.
+  // The physical broadcast to remote nodes costs one (parallel) one-way hop.
+  co_await sim_.delay(fabric_.one_way(from, node_states_.front()->node, 64));
+  for (auto& [cid, home] : clients_) {
+    OpMessage b;
+    b.kind = OpMessage::Kind::barrier;
+    b.path = config_.root.str();
+    b.client_id = cid;
+    b.epoch = e;
+    b.timestamp = sim_.now();
+    bus_->publish(home->node, node_topic(home->node), b);
+    client_epochs_[cid] = e + 1;
+  }
+  ++barriers_run_;
+  co_await epochs_.wait_all_drained(e);
+  co_return e;
+}
+
+sim::Task<FsResult<void>> ConsistentRegion::rmdir(net::NodeId from, std::uint32_t client,
+                                                  const fs::Path& path) {
+  (void)client;
+  auto perm = co_await check_permission(from, path.parent(), fs::Access::write);
+  if (!perm) co_return perm;
+
+  const std::uint64_t e = co_await run_barrier(from);
+  auto result = co_await state_for(from).dfs_client->rmdir(path);  // sync commit (Table I)
+  if (result) {
+    ++invalidation_epoch_;
+    // Clean the cached subtree (paper: recursive removing cleans the cache).
+    const std::string prefix = subtree_prefix(path);
+    for (std::size_t s = 0; s < cache_->server_count(); ++s) {
+      auto& server = cache_->server_on(config_.nodes[s]);
+      for (const auto& key : server.keys_with_prefix(prefix)) {
+        server.apply(kv::KvRequest{kv::KvRequest::Op::del, key, {}, 0, 0});
+      }
+      server.apply(kv::KvRequest{kv::KvRequest::Op::del, path.str(), {}, 0, 0});
+    }
+  }
+  epochs_.complete_epoch(e);
+  barrier_mutex_.unlock();
+  if (!result) co_return fs::fail(result.error());
+  co_return FsResult<void>{};
+}
+
+sim::Task<FsResult<std::vector<fs::DirEntry>>> ConsistentRegion::readdir(net::NodeId from,
+                                                                         std::uint32_t client,
+                                                                         const fs::Path& path) {
+  (void)client;
+  auto perm = co_await check_permission(from, path, fs::Access::read);
+  if (!perm) co_return fs::fail(perm.error());
+  // Barrier, then delegate to the DFS: avoids a full cache-table scan and is
+  // correct because all earlier operations have been committed (Table I).
+  const std::uint64_t e = co_await run_barrier(from);
+  auto entries = co_await state_for(from).dfs_client->readdir(path);
+  epochs_.complete_epoch(e);
+  barrier_mutex_.unlock();
+  co_return entries;
+}
+
+// ---- File data -------------------------------------------------------------------
+
+sim::Task<FsResult<std::uint64_t>> ConsistentRegion::write(net::NodeId from,
+                                                           std::uint32_t client,
+                                                           const fs::Path& path,
+                                                           std::uint64_t offset,
+                                                           std::uint64_t length) {
+  auto perm = co_await check_permission(from, path, fs::Access::write);
+  if (!perm) co_return fs::fail(perm.error());
+  dfs::DfsClient& io = *state_for(from).dfs_client;
+
+  for (;;) {
+    const auto cur = co_await cache_->get(from, path.str());
+    if (cur.status == kv::KvStatus::not_found) {
+      // Unknown in cache: fall back to the DFS (load like getattr would).
+      auto attr = co_await getattr(from, path);
+      if (!attr) co_return fs::fail(attr.error());
+      continue;
+    }
+    auto meta = decode_meta(cur.value);
+    if (!meta) co_return fs::fail(FsError::io);
+    if (meta->removed) co_return fs::fail(FsError::not_found);
+    if (meta->attr.is_dir()) co_return fs::fail(FsError::is_a_directory);
+
+    const std::uint64_t new_size = std::max(meta->attr.size, offset + length);
+    if (meta->large_file || new_size > config_.small_file_threshold) {
+      // Large-file path: data is not cached (Section III.D.2). Spill any
+      // inline bytes, then write through to the DFS; resubmit until the
+      // asynchronous create has landed there.
+      const std::uint64_t spill = meta->inline_bytes;
+      if (!meta->large_file) {
+        meta->large_file = true;
+        meta->inline_bytes = 0;
+        meta->attr.size = new_size;
+        meta->attr.mtime = sim_.now();
+        const auto swapped =
+            co_await cache_->cas(from, path.str(), encode_meta(*meta), cur.cas);
+        if (swapped.status != kv::KvStatus::ok) continue;  // raced: retry
+      }
+      for (;;) {
+        if (spill > 0) {
+          auto spilled = co_await io.write(path, 0, spill);
+          if (!spilled && spilled.error() == FsError::not_found) {
+            co_await sim_.delay(config_.commit_retry_delay);
+            continue;
+          }
+        }
+        auto wrote = co_await io.write(path, offset, length);
+        if (wrote) break;
+        if (wrote.error() != FsError::not_found) co_return fs::fail(wrote.error());
+        co_await sim_.delay(config_.commit_retry_delay);  // create not committed yet
+      }
+      // Reflect the new size for cached readers (best effort, CAS-raced).
+      co_return length;
+    }
+
+    // Small-file path: metadata and data updated in one CAS.
+    meta->inline_bytes = std::max(meta->inline_bytes, offset + length);
+    meta->attr.size = new_size;
+    meta->attr.mtime = sim_.now();
+    const auto swapped = co_await cache_->cas(from, path.str(), encode_meta(*meta), cur.cas);
+    if (swapped.status != kv::KvStatus::ok) continue;  // conflict: re-execute
+    OpMessage op;
+    op.kind = OpMessage::Kind::write_data;
+    op.path = path.str();
+    op.size = new_size;
+    op.creds = config_.creds;
+    if (config_.async_commit) {
+      co_await sim_.delay(config_.queue_publish_cpu);
+      publish(client, op);
+    } else {
+      auto wrote = co_await io.write(path, 0, new_size);
+      if (!wrote) co_return fs::fail(wrote.error());
+    }
+    co_return length;
+  }
+}
+
+sim::Task<FsResult<std::uint64_t>> ConsistentRegion::read(net::NodeId from, const fs::Path& path,
+                                                          std::uint64_t offset,
+                                                          std::uint64_t length) {
+  auto perm = co_await check_permission(from, path, fs::Access::read);
+  if (!perm) co_return fs::fail(perm.error());
+  auto meta = co_await cache_get(from, path.str());
+  if (meta && !meta->removed && !meta->large_file) {
+    // Single KV request served both metadata and data (Section III.D.2).
+    if (offset >= meta->inline_bytes) co_return 0;
+    co_return std::min(length, meta->inline_bytes - offset);
+  }
+  if (meta && meta->removed) co_return fs::fail(FsError::not_found);
+  co_return co_await state_for(from).dfs_client->read(path, offset, length);
+}
+
+sim::Task<FsResult<void>> ConsistentRegion::fsync(net::NodeId from, const fs::Path& path) {
+  auto meta = co_await cache_get(from, path.str());
+  if (!meta || meta->removed) co_return fs::fail(FsError::not_found);
+  NodeState& state = state_for(from);
+  if (pending_by_path_.contains(path.str())) {
+    // The file's create (or data) has not committed yet: durability comes
+    // from a direct-I/O write of the inline payload into a node-local cache
+    // file; it is written back once the create lands (Section III.D.2).
+    co_await state.spill_disk->write(std::max<std::uint64_t>(meta->inline_bytes, 512));
+    co_return FsResult<void>{};
+  }
+  co_return co_await state.dfs_client->fsync(path);
+}
+
+// ---- Commit machinery ------------------------------------------------------------
+
+sim::Task<> ConsistentRegion::sorter_loop(NodeState& node) {
+  // Sorter half: consumes the node's commit queue without ever blocking on
+  // epoch state, so barrier messages are always seen promptly even while the
+  // committer is held at an epoch boundary.
+  for (;;) {
+    auto msg = co_await node.queue->recv();
+    if (!msg) break;
+    if (is_barrier(*msg)) {
+      auto& seen = node.barrier_seen[msg->epoch];
+      if (++seen == node.client_count) {
+        node.barrier_seen.erase(msg->epoch);
+        // Forward a single sentinel; per-publisher FIFO guarantees every
+        // epoch-e operation from this node's clients precedes it.
+        (void)node.ordered->try_send(OpMessage{*msg});
+      }
+      continue;
+    }
+    (void)node.ordered->try_send(std::move(*msg));
+  }
+  node.ordered->close();
+}
+
+sim::Task<> ConsistentRegion::committer_loop(NodeState& node) {
+  for (;;) {
+    auto msg = co_await node.ordered->recv();
+    if (!msg) break;
+    if (is_barrier(*msg)) {
+      // A barrier may only be reported once every operation of its epoch --
+      // including ones parked for resubmission -- reached the DFS.
+      while (node.retrying > 0 && node.alive) {
+        co_await sim_.delay(config_.commit_retry_delay);
+      }
+      epochs_.node_reached_barrier(msg->epoch);
+      continue;
+    }
+    if (node.alive) co_await epochs_.wait_epoch_open(msg->epoch);
+    if (!co_await apply_and_account(node, *msg)) {
+      // Independent commit: park for resubmission; keep draining the queue
+      // (the op this one depends on may be right behind it).
+      ++node.retrying;
+      (void)node.retry_queue->try_send(std::move(*msg));
+    }
+  }
+}
+
+sim::Task<> ConsistentRegion::retry_loop(NodeState& node) {
+  for (;;) {
+    auto msg = co_await node.retry_queue->recv();
+    if (!msg) break;
+    for (;;) {
+      ++commit_retries_;
+      co_await sim_.delay(config_.commit_retry_delay);
+      if (co_await apply_and_account(node, *msg)) break;
+    }
+    --node.retrying;
+  }
+}
+
+sim::Task<bool> ConsistentRegion::apply_and_account(NodeState& node, const OpMessage& msg) {
+  if (!node.alive) {
+    // Dead node: the op is lost (restore() repairs); account it out.
+    pending_decrement(msg.path);
+    co_return true;
+  }
+  FsError status = FsError::io;
+  try {
+    status = co_await apply_once(node, msg);
+  } catch (const net::RpcError&) {
+    status = FsError::io;  // node or fabric failure mid-commit
+  }
+  if (!node.alive) {
+    pending_decrement(msg.path);
+    co_return true;
+  }
+  if (status == FsError::ok || status == FsError::exists) {
+    // exists = an idempotent replay (e.g. recovery re-commit); accept.
+    ++committed_ops_;
+    pending_decrement(msg.path);
+    co_return true;
+  }
+  co_return false;
+}
+
+sim::Task<FsError> ConsistentRegion::apply_once(NodeState& node, const OpMessage& msg) {
+  dfs::DfsClient& io = *node.dfs_client;
+  const fs::Path path = fs::Path::parse(msg.path);
+  switch (msg.kind) {
+    case OpMessage::Kind::mkdir: {
+      auto r = co_await io.mkdir(path, msg.mode);
+      co_return r ? FsError::ok : r.error();
+    }
+    case OpMessage::Kind::create: {
+      auto r = co_await io.create(path, msg.mode);
+      co_return r ? FsError::ok : r.error();
+    }
+    case OpMessage::Kind::remove: {
+      auto r = co_await io.unlink(path);
+      if (r || r.error() == FsError::not_found) {
+        // Applied (or already gone): drop the marked cache entry now.
+        (void)co_await cache_->del(node.node, msg.path);
+        co_return FsError::ok;
+      }
+      co_return r.error();
+    }
+    case OpMessage::Kind::write_data: {
+      auto r = co_await io.write(path, 0, msg.size);
+      if (!r && r.error() == FsError::not_found) {
+        // Either the create has not committed yet (retry) or another node's
+        // remove already won (drop: a removed file's backup needs no data).
+        auto meta = co_await cache_get(node.node, msg.path);
+        if (!meta || meta->removed) co_return FsError::ok;
+        co_return FsError::not_found;
+      }
+      co_return r ? FsError::ok : r.error();
+    }
+    case OpMessage::Kind::barrier:
+      co_return FsError::ok;  // handled by the committer directly
+  }
+  co_return FsError::unsupported;
+}
+
+// ---- drain / checkpoint / restore ---------------------------------------------
+
+sim::Task<> ConsistentRegion::drain(std::uint32_t client) {
+  (void)client;
+  while (pending_total_ > 0) {
+    drained_gate_.reset();
+    co_await drained_gate_.wait();
+  }
+}
+
+sim::Task<FsResult<std::uint64_t>> ConsistentRegion::checkpoint(std::uint32_t client) {
+  co_await drain(client);
+  const std::uint64_t id = next_checkpoint_id_++;
+  dfs::DfsClient& io = *node_states_.front()->dfs_client;
+  const fs::Path dest = checkpoint_path(id);
+  (void)co_await io.mkdir(fs::Path::parse("/.pacon"), fs::FileMode::dir_default());
+  auto copied = co_await copy_subtree(io, config_.root, dest);
+  if (!copied) co_return fs::fail(copied.error());
+  co_return id;
+}
+
+sim::Task<FsResult<void>> ConsistentRegion::restore(std::uint64_t id) {
+  dfs::DfsClient& io = *node_states_.front()->dfs_client;
+  const fs::Path src = checkpoint_path(id);
+  auto exists = co_await io.getattr(src);
+  if (!exists) co_return fs::fail(FsError::not_found);
+  // Roll the workspace subtree back to the checkpoint.
+  auto removed = co_await remove_subtree(io, config_.root);
+  if (!removed) co_return fs::fail(removed.error());
+  auto copied = co_await copy_subtree(io, src, config_.root);
+  if (!copied) co_return copied;
+  // Rebuild = drop the (possibly inconsistent) cached state; it reloads
+  // lazily from the DFS.
+  const std::string prefix = subtree_prefix(config_.root);
+  for (const auto node : config_.nodes) {
+    if (!fabric_.node_up(node)) continue;
+    auto& server = cache_->server_on(node);
+    for (const auto& key : server.keys_with_prefix(prefix)) {
+      server.apply(kv::KvRequest{kv::KvRequest::Op::del, key, {}, 0, 0});
+    }
+    server.apply(kv::KvRequest{kv::KvRequest::Op::del, config_.root.str(), {}, 0, 0});
+  }
+  co_return FsResult<void>{};
+}
+
+void ConsistentRegion::detach_failed_node(net::NodeId failed) {
+  auto it = std::find_if(node_states_.begin(), node_states_.end(),
+                         [failed](const auto& s) { return s->node == failed; });
+  if (it == node_states_.end()) return;
+  NodeState& state = **it;
+  if (!state.alive) return;
+  state.alive = false;
+  // The node's uncommitted operations are lost (the damage restore()
+  // repairs). The commit machinery stays attached and discards everything it
+  // drains -- including deliveries still in flight on the wire -- through
+  // the dead-node path in apply_and_account, which keeps the pending
+  // accounting exact so drain() stays live.
+  // Keys the dead cache server held are gone; take it out of the ring so
+  // the remaining servers own the keyspace (entries rebuild from the DFS).
+  cache_->remove_server(failed);
+}
+
+// ---- Eviction ----------------------------------------------------------------------
+
+sim::Task<> ConsistentRegion::evictor_loop() {
+  const std::uint64_t capacity =
+      static_cast<std::uint64_t>(config_.nodes.size()) * config_.cache.capacity_bytes;
+  const auto high = static_cast<std::uint64_t>(config_.eviction_high_water *
+                                               static_cast<double>(capacity));
+  const auto low = static_cast<std::uint64_t>(config_.eviction_low_water *
+                                              static_cast<double>(capacity));
+  for (;;) {
+    co_await sim_.delay(config_.eviction_period);
+    if (stop_evictor_) break;
+    if (cache_->total_bytes_used() <= high) continue;
+
+    // Enumerate current children of the region root across all servers.
+    const std::string prefix = subtree_prefix(config_.root);
+    std::set<std::string> children;
+    for (const auto node : config_.nodes) {
+      for (const auto& key : cache_->server_on(node).keys_with_prefix(prefix)) {
+        std::string rest = key.substr(prefix.size());
+        const auto slash = rest.find('/');
+        if (slash != std::string::npos) rest.resize(slash);
+        if (!rest.empty()) children.insert(std::move(rest));
+      }
+    }
+    if (children.empty()) continue;
+
+    // Victim order: round-robin resumes after the previous victim; the
+    // naive fixed order always restarts from the first child (and thrashes
+    // hot leading subtrees -- the ablation's point).
+    auto cursor = config_.eviction_policy == EvictionPolicy::round_robin
+                      ? children.upper_bound(eviction_cursor_)
+                      : children.begin();
+    std::size_t examined = 0;
+    while (cache_->total_bytes_used() > low && examined < children.size()) {
+      if (cursor == children.end()) cursor = children.begin();
+      eviction_cursor_ = *cursor;
+      const std::string victim_prefix = prefix + *cursor;
+      (void)co_await evict_subtree(victim_prefix);
+      ++cursor;
+      ++examined;
+    }
+  }
+}
+
+sim::Task<std::uint64_t> ConsistentRegion::evict_subtree(const std::string& victim) {
+  std::uint64_t evicted = 0;
+  const std::string sub = victim + "/";
+  for (const auto node : config_.nodes) {
+    if (!fabric_.node_up(node)) continue;
+    auto& server = cache_->server_on(node);
+    for (const auto& key : server.keys_with_prefix(sub)) {
+      if (pending_by_path_.contains(key)) continue;  // only committed entries
+      server.apply(kv::KvRequest{kv::KvRequest::Op::del, key, {}, 0, 0});
+      ++evicted;
+    }
+    if (!pending_by_path_.contains(victim)) {
+      const auto r = server.apply(kv::KvRequest{kv::KvRequest::Op::del, victim, {}, 0, 0});
+      if (r.status == kv::KvStatus::ok) ++evicted;
+    }
+  }
+  evicted_entries_ += evicted;
+  // Eviction is a background management sweep; charge a nominal CPU cost.
+  co_await sim_.delay(1_us + evicted * 200);
+  co_return evicted;
+}
+
+// ---- Subtree copy / removal on the DFS ------------------------------------------
+
+sim::Task<FsResult<void>> ConsistentRegion::copy_subtree(dfs::DfsClient& io,
+                                                         const fs::Path& from,
+                                                         const fs::Path& to) {
+  auto src = co_await io.getattr(from);
+  if (!src) co_return fs::fail(src.error());
+  auto made = co_await io.mkdir(to, src->mode);
+  if (!made && made.error() != FsError::exists) co_return fs::fail(made.error());
+  auto entries = co_await io.readdir(from);
+  if (!entries) co_return fs::fail(entries.error());
+  for (const auto& entry : *entries) {
+    const fs::Path src_child = from.child(entry.name);
+    const fs::Path dst_child = to.child(entry.name);
+    if (entry.type == fs::FileType::directory) {
+      auto sub = co_await copy_subtree(io, src_child, dst_child);
+      if (!sub) co_return sub;
+      continue;
+    }
+    auto attr = co_await io.getattr(src_child);
+    if (!attr) co_return fs::fail(attr.error());
+    auto created = co_await io.create(dst_child, attr->mode);
+    if (!created && created.error() != FsError::exists) co_return fs::fail(created.error());
+    if (attr->size > 0) {
+      auto data = co_await io.read(src_child, 0, attr->size);
+      if (!data) co_return fs::fail(data.error());
+      auto written = co_await io.write(dst_child, 0, attr->size);
+      if (!written) co_return fs::fail(written.error());
+    }
+  }
+  co_return FsResult<void>{};
+}
+
+sim::Task<FsResult<void>> ConsistentRegion::remove_subtree(dfs::DfsClient& io,
+                                                           const fs::Path& target) {
+  auto entries = co_await io.readdir(target);
+  if (!entries) co_return fs::fail(entries.error());
+  for (const auto& entry : *entries) {
+    const fs::Path child = target.child(entry.name);
+    if (entry.type == fs::FileType::directory) {
+      auto sub = co_await remove_subtree(io, child);
+      if (!sub) co_return sub;
+      auto rm = co_await io.rmdir(child);
+      if (!rm && rm.error() != FsError::not_found) co_return fs::fail(rm.error());
+      continue;
+    }
+    auto rm = co_await io.unlink(child);
+    if (!rm && rm.error() != FsError::not_found) co_return fs::fail(rm.error());
+  }
+  co_return FsResult<void>{};
+}
+
+}  // namespace pacon::core

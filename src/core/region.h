@@ -1,0 +1,266 @@
+// Consistent region: one application workspace under partial consistency
+// (paper Section III).
+//
+// A region owns:
+//   * the distributed in-memory metadata cache (Memcached-like servers on
+//     the application's own nodes, keyed by full path over a DHT) -- the
+//     strongly-consistent primary copy;
+//   * per-node commit queues (pub/sub) and commit processes that apply
+//     operations to the underlying DFS -- the asynchronously-updated backup
+//     copy -- using independent commit with resubmission for non-dependent
+//     operations and barrier-epoch commit for dependent ones;
+//   * the batch permission table;
+//   * round-robin eviction of committed subtrees under cache pressure;
+//   * subtree checkpoint / rollback for client-node failure recovery.
+//
+// Clients (Pacon instances) register with the region and funnel operations
+// on paths inside the workspace through it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/epoch.h"
+#include "core/meta_entry.h"
+#include "core/op_message.h"
+#include "core/permission.h"
+#include "dfs/client.h"
+#include "dfs/cluster.h"
+#include "fs/error.h"
+#include "fs/path.h"
+#include "kv/memcache.h"
+#include "net/pubsub.h"
+#include "sim/disk.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+
+namespace pacon::core {
+
+using namespace sim::literals;
+
+/// Victim selection for cache-space eviction (Section III.F: round-robin
+/// "can alleviate cache thrashing that may be caused by the simple eviction
+/// policy"; fixed_order is that simple policy, kept for the ablation).
+enum class EvictionPolicy : std::uint8_t { round_robin, fixed_order };
+
+struct RegionConfig {
+  /// Workspace root (the consistent region's subtree).
+  fs::Path root;
+  /// Nodes the application runs on; cache servers and commit processes are
+  /// launched on each (paper: Pacon services start with the application).
+  std::vector<net::NodeId> nodes;
+  /// The application's system user.
+  fs::Credentials creds{};
+  /// Small-file threshold: files up to this size (metadata + data) live
+  /// inline in the cache (4 KB in the paper's prototype).
+  std::uint64_t small_file_threshold = 4096;
+  /// Check parent existence on create (applications that guarantee their own
+  /// creation order can turn this off; Section III.C).
+  bool parent_check = true;
+  /// Batch permission management; off = hierarchical ancestor checks through
+  /// the cache (ablation of Section III.C).
+  bool batch_permission = true;
+  /// Asynchronous commit; off = every mutation applied to the DFS inline
+  /// (ablation of Benefit 3).
+  bool async_commit = true;
+  /// Per-node cache-server tuning. lru_eviction is forced off: the region's
+  /// own evictor manages space (Section III.F).
+  kv::KvConfig cache{};
+  /// Evict when used bytes exceed this fraction of total cache capacity...
+  double eviction_high_water = 0.90;
+  /// ...down to this fraction.
+  double eviction_low_water = 0.75;
+  /// How often the evictor checks pressure.
+  sim::SimDuration eviction_period = 50_ms;
+  EvictionPolicy eviction_policy = EvictionPolicy::round_robin;
+  /// Backoff between commit resubmissions (independent commit retries).
+  sim::SimDuration commit_retry_delay = 200_us;
+  /// Normal permission of the workspace; defaults to creator-private rwx.
+  PermissionSpec normal_permission{};
+  /// CPU cost of a local (client-side) batch permission match.
+  sim::SimDuration permission_check_cpu = 400_ns;
+  /// Caller-side cost of pushing one operation message into the commit
+  /// queue (serialization + the ZeroMQ-style socket write).
+  sim::SimDuration queue_publish_cpu = 12_us;
+};
+
+class ConsistentRegion {
+ public:
+  ConsistentRegion(sim::Simulation& sim, net::Fabric& fabric, dfs::DfsCluster& dfs,
+                   RegionConfig config);
+  ~ConsistentRegion();
+  ConsistentRegion(const ConsistentRegion&) = delete;
+  ConsistentRegion& operator=(const ConsistentRegion&) = delete;
+
+  const RegionConfig& config() const { return config_; }
+  const fs::Path& root() const { return config_.root; }
+  PermissionTable& permissions() { return permissions_; }
+  kv::MemCacheCluster& cache() { return *cache_; }
+
+  /// True when `path` lies inside this region's workspace.
+  bool contains(const fs::Path& path) const { return config_.root.is_prefix_of(path); }
+
+  /// Registers a client process running on `node`; returns its region-wide
+  /// client id (used for barrier accounting).
+  std::uint32_t register_client(net::NodeId node);
+
+  // ---- Metadata operations (invoked by Pacon clients) -------------------
+
+  /// `parent_known` skips the parent-existence probe (the caller recently
+  /// confirmed the parent; see Pacon's hint cache and Section III.C).
+  sim::Task<fs::FsResult<void>> mkdir(net::NodeId from, std::uint32_t client,
+                                      const fs::Path& path, fs::FileMode mode,
+                                      bool parent_known = false);
+  sim::Task<fs::FsResult<void>> create(net::NodeId from, std::uint32_t client,
+                                       const fs::Path& path, fs::FileMode mode,
+                                       bool parent_known = false);
+  sim::Task<fs::FsResult<fs::InodeAttr>> getattr(net::NodeId from, const fs::Path& path);
+  sim::Task<fs::FsResult<void>> remove(net::NodeId from, std::uint32_t client,
+                                       const fs::Path& path);
+  sim::Task<fs::FsResult<void>> rmdir(net::NodeId from, std::uint32_t client,
+                                      const fs::Path& path);
+  sim::Task<fs::FsResult<std::vector<fs::DirEntry>>> readdir(net::NodeId from,
+                                                             std::uint32_t client,
+                                                             const fs::Path& path);
+
+  // ---- File data operations ---------------------------------------------
+
+  sim::Task<fs::FsResult<std::uint64_t>> write(net::NodeId from, std::uint32_t client,
+                                               const fs::Path& path, std::uint64_t offset,
+                                               std::uint64_t length);
+  sim::Task<fs::FsResult<std::uint64_t>> read(net::NodeId from, const fs::Path& path,
+                                              std::uint64_t offset, std::uint64_t length);
+  sim::Task<fs::FsResult<void>> fsync(net::NodeId from, const fs::Path& path);
+
+  // ---- Region management --------------------------------------------------
+
+  /// Waits until every operation published so far is applied to the DFS.
+  sim::Task<> drain(std::uint32_t client);
+
+  /// Copies the workspace subtree on the DFS into a checkpoint; returns its
+  /// id (paper Section III.G). Implies a drain.
+  sim::Task<fs::FsResult<std::uint64_t>> checkpoint(std::uint32_t client);
+
+  /// Rolls the workspace back to checkpoint `id` and clears the cache
+  /// (client-node failure recovery).
+  sim::Task<fs::FsResult<void>> restore(std::uint64_t id);
+
+  /// Drops node `failed` from the region (cache ring) after a crash. Entries
+  /// it held are lost; uncommitted operations from its queue are lost too --
+  /// exactly the damage restore() repairs.
+  void detach_failed_node(net::NodeId failed);
+
+  // ---- Introspection -------------------------------------------------------
+
+  std::uint64_t pending_commits() const { return pending_total_; }
+  std::uint64_t committed_ops() const { return committed_ops_; }
+  std::uint64_t commit_retries() const { return commit_retries_; }
+  std::uint64_t evicted_entries() const { return evicted_entries_; }
+  std::uint64_t barriers_run() const { return barriers_run_; }
+
+  /// Bumped whenever anything is removed from the region; clients gate their
+  /// local parent-existence hints on it.
+  std::uint64_t invalidation_epoch() const { return invalidation_epoch_; }
+
+  /// True while `path` has at least one queued-but-uncommitted operation.
+  bool has_pending(const std::string& path) const { return pending_by_path_.contains(path); }
+
+ private:
+  struct NodeState {
+    net::NodeId node;
+    std::shared_ptr<net::PubSubBus<OpMessage>::Subscription> queue;
+    std::unique_ptr<dfs::DfsClient> dfs_client;
+    /// Sorted operation stream between the sorter and committer halves of
+    /// the commit process (barrier sentinels included).
+    std::unique_ptr<sim::Channel<OpMessage>> ordered;
+    /// Failed commits awaiting resubmission; a separate worker retries them
+    /// so one rejected operation never head-of-line blocks the queue.
+    std::unique_ptr<sim::Channel<OpMessage>> retry_queue;
+    std::uint64_t retrying = 0;
+    /// Node-local device for direct-I/O spill files (fsync of files whose
+    /// create has not committed; Section III.D.2).
+    std::unique_ptr<sim::SimDisk> spill_disk;
+    std::uint32_t client_count = 0;
+    std::unordered_map<std::uint64_t, std::size_t> barrier_seen;  // epoch -> count
+    bool alive = true;
+  };
+
+  /// Permission check dispatch: batch (local) or hierarchical (ablation).
+  sim::Task<fs::FsResult<void>> check_permission(net::NodeId from, const fs::Path& path,
+                                                 fs::Access access);
+  sim::Task<fs::FsResult<void>> check_parent(net::NodeId from, const fs::Path& path);
+
+  /// Inserts a new entry and publishes its commit message.
+  sim::Task<fs::FsResult<void>> create_common(net::NodeId from, std::uint32_t client,
+                                              const fs::Path& path, fs::FileMode mode,
+                                              fs::FileType type, bool parent_known);
+
+  /// Cache entry fetch decoding the removed-marker.
+  sim::Task<std::optional<CachedMeta>> cache_get(net::NodeId from, const std::string& key);
+
+  void publish(std::uint32_t client, OpMessage msg);
+
+  /// Runs one barrier: all clients emit barrier messages; waits until every
+  /// commit process drained the epoch. Returns the epoch that was sealed.
+  sim::Task<std::uint64_t> run_barrier(net::NodeId from);
+
+  sim::Task<> sorter_loop(NodeState& node);
+  sim::Task<> committer_loop(NodeState& node);
+  sim::Task<> retry_loop(NodeState& node);
+  /// One commit attempt incl. bookkeeping; false = needs resubmission.
+  sim::Task<bool> apply_and_account(NodeState& node, const OpMessage& msg);
+  sim::Task<fs::FsError> apply_once(NodeState& node, const OpMessage& msg);
+
+  NodeState& state_for(net::NodeId node);
+  fs::Path checkpoint_path(std::uint64_t id) const;
+  void pending_decrement(const std::string& path);
+
+  sim::Task<> evictor_loop();
+  sim::Task<std::uint64_t> evict_subtree(const std::string& prefix);
+
+  /// Recursive DFS subtree copy (checkpoint) and removal (restore).
+  sim::Task<fs::FsResult<void>> copy_subtree(dfs::DfsClient& io, const fs::Path& from,
+                                             const fs::Path& to);
+  sim::Task<fs::FsResult<void>> remove_subtree(dfs::DfsClient& io, const fs::Path& target);
+
+  std::string node_topic(net::NodeId node) const;
+
+  sim::Simulation& sim_;
+  net::Fabric& fabric_;
+  dfs::DfsCluster& dfs_;
+  RegionConfig config_;
+  PermissionTable permissions_;
+
+  std::unique_ptr<kv::MemCacheCluster> cache_;
+  std::unique_ptr<net::PubSubBus<OpMessage>> bus_;
+  std::vector<std::unique_ptr<NodeState>> node_states_;
+  std::unordered_map<std::uint32_t, NodeState*> clients_;  // client id -> home node
+  std::unordered_map<std::uint32_t, std::uint64_t> client_epochs_;
+
+  EpochCoordinator epochs_;
+  sim::Mutex barrier_mutex_;
+
+  // Pending-commit bookkeeping: paths with queued-but-uncommitted ops are
+  // protected from eviction; the drain() primitive waits on the total.
+  std::unordered_map<std::string, std::uint32_t> pending_by_path_;
+  std::uint64_t pending_total_ = 0;
+  sim::Gate drained_gate_;
+
+  // Round-robin eviction cursor (name of the last evicted root child).
+  std::string eviction_cursor_;
+  bool stop_evictor_ = false;
+
+  std::uint64_t next_checkpoint_id_ = 1;
+  std::uint32_t next_client_id_ = 0;
+  std::uint64_t committed_ops_ = 0;
+  std::uint64_t invalidation_epoch_ = 0;
+  std::uint64_t commit_retries_ = 0;
+  std::uint64_t evicted_entries_ = 0;
+  std::uint64_t barriers_run_ = 0;
+};
+
+}  // namespace pacon::core

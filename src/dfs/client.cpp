@@ -1,0 +1,283 @@
+#include "dfs/client.h"
+
+#include <algorithm>
+
+#include "sim/combinators.h"
+
+namespace pacon::dfs {
+
+using fs::FsError;
+using fs::FsResult;
+
+DfsClient::DfsClient(sim::Simulation& sim, DfsCluster& cluster, net::NodeId node,
+                     DfsClientConfig config)
+    : sim_(sim), cluster_(cluster), node_(node), config_(config) {}
+
+sim::Task<MetaResponse> DfsClient::meta_call(MetaRequest req) {
+  ++meta_rpcs_;
+  if (req.op == MetaOp::lookup) ++lookup_rpcs_;
+  return cluster_.mds().call(node_, std::move(req));
+}
+
+const fs::InodeAttr* DfsClient::cache_find(const std::string& path) {
+  auto it = dentries_.find(path);
+  if (it == dentries_.end()) return nullptr;
+  if (it->second.expires_at < sim_.now()) {
+    dentry_lru_.erase(it->second.lru_pos);
+    dentries_.erase(it);
+    return nullptr;
+  }
+  dentry_lru_.splice(dentry_lru_.begin(), dentry_lru_, it->second.lru_pos);
+  ++dentry_hits_;
+  return &it->second.attr;
+}
+
+void DfsClient::cache_insert(const std::string& path, const fs::InodeAttr& attr) {
+  if (config_.dentry_cache_capacity == 0) return;
+  if (auto it = dentries_.find(path); it != dentries_.end()) {
+    it->second.attr = attr;
+    it->second.expires_at = sim_.now() + config_.dentry_ttl;
+    dentry_lru_.splice(dentry_lru_.begin(), dentry_lru_, it->second.lru_pos);
+    return;
+  }
+  dentry_lru_.push_front(path);
+  dentries_.emplace(path, CachedEntry{attr, sim_.now() + config_.dentry_ttl,
+                                      dentry_lru_.begin()});
+  while (dentries_.size() > config_.dentry_cache_capacity) {
+    dentries_.erase(dentry_lru_.back());
+    dentry_lru_.pop_back();
+  }
+}
+
+void DfsClient::cache_erase(const std::string& path) {
+  auto it = dentries_.find(path);
+  if (it == dentries_.end()) return;
+  dentry_lru_.erase(it->second.lru_pos);
+  dentries_.erase(it);
+}
+
+void DfsClient::invalidate_cache() {
+  dentries_.clear();
+  dentry_lru_.clear();
+}
+
+sim::Task<FsResult<fs::InodeAttr>> DfsClient::resolve(const fs::Path& path, bool fresh_leaf) {
+  fs::InodeAttr current;
+  current.ino = fs::kRootIno;
+  current.type = fs::FileType::directory;
+  current.mode = fs::FileMode::dir_default();
+  if (path.is_root()) co_return current;
+
+  // Find the deepest cached ancestor, then walk the rest over the wire.
+  // When the caller needs fresh leaf attributes the leaf itself is excluded
+  // from cache hits (a cached entry may carry stale size/mtime).
+  const auto comps = path.components();
+  std::size_t start = 0;
+  {
+    fs::Path probe = fresh_leaf ? path.parent() : path;
+    std::size_t remaining = fresh_leaf ? comps.size() - 1 : comps.size();
+    while (!probe.is_root()) {
+      if (const fs::InodeAttr* hit = cache_find(probe.str())) {
+        current = *hit;
+        start = remaining;
+        break;
+      }
+      probe = probe.parent();
+      --remaining;
+    }
+  }
+
+  fs::Path walked;  // rebuilt prefix for cache keys
+  for (std::size_t i = 0; i < start; ++i) walked = walked.child(comps[i]);
+  for (std::size_t i = start; i < comps.size(); ++i) {
+    if (!current.is_dir()) co_return fs::fail(FsError::not_a_directory);
+    MetaRequest req;
+    req.op = MetaOp::lookup;
+    req.parent = current.ino;
+    req.name = std::string(comps[i]);
+    req.creds = config_.creds;
+    const MetaResponse resp = co_await meta_call(std::move(req));
+    if (resp.status != FsError::ok) co_return fs::fail(resp.status);
+    current = resp.attr;
+    walked = walked.child(comps[i]);
+    cache_insert(walked.str(), current);
+  }
+  co_return current;
+}
+
+sim::Task<FsResult<fs::InodeAttr>> DfsClient::resolve_dir(const fs::Path& path) {
+  auto attr = co_await resolve(path);
+  if (!attr) co_return attr;
+  if (!attr->is_dir()) co_return fs::fail(FsError::not_a_directory);
+  co_return attr;
+}
+
+sim::Task<FsResult<fs::InodeAttr>> DfsClient::mkdir(const fs::Path& path, fs::FileMode mode) {
+  if (!path.valid() || path.is_root()) co_return fs::fail(FsError::invalid);
+  auto parent = co_await resolve_dir(path.parent());
+  if (!parent) co_return fs::fail(parent.error());
+  MetaRequest req;
+  req.op = MetaOp::create;
+  req.parent = parent->ino;
+  req.name = std::string(path.name());
+  req.type = fs::FileType::directory;
+  req.mode = mode;
+  req.creds = config_.creds;
+  const MetaResponse resp = co_await meta_call(std::move(req));
+  if (resp.status != FsError::ok) co_return fs::fail(resp.status);
+  cache_insert(path.str(), resp.attr);
+  co_return resp.attr;
+}
+
+sim::Task<FsResult<fs::InodeAttr>> DfsClient::create(const fs::Path& path, fs::FileMode mode) {
+  if (!path.valid() || path.is_root()) co_return fs::fail(FsError::invalid);
+  auto parent = co_await resolve_dir(path.parent());
+  if (!parent) co_return fs::fail(parent.error());
+  MetaRequest req;
+  req.op = MetaOp::create;
+  req.parent = parent->ino;
+  req.name = std::string(path.name());
+  req.type = fs::FileType::file;
+  req.mode = mode;
+  req.creds = config_.creds;
+  const MetaResponse resp = co_await meta_call(std::move(req));
+  if (resp.status != FsError::ok) co_return fs::fail(resp.status);
+  cache_insert(path.str(), resp.attr);
+  co_return resp.attr;
+}
+
+sim::Task<FsResult<fs::InodeAttr>> DfsClient::getattr(const fs::Path& path) {
+  if (!path.valid()) co_return fs::fail(FsError::invalid);
+  co_return co_await resolve(path, /*fresh_leaf=*/true);
+}
+
+sim::Task<FsResult<void>> DfsClient::unlink(const fs::Path& path) {
+  if (!path.valid() || path.is_root()) co_return fs::fail(FsError::invalid);
+  auto parent = co_await resolve_dir(path.parent());
+  if (!parent) co_return fs::fail(parent.error());
+  MetaRequest req;
+  req.op = MetaOp::unlink;
+  req.parent = parent->ino;
+  req.name = std::string(path.name());
+  req.creds = config_.creds;
+  const MetaResponse resp = co_await meta_call(std::move(req));
+  if (resp.status != FsError::ok) co_return fs::fail(resp.status);
+  cache_erase(path.str());
+  co_return FsResult<void>{};
+}
+
+sim::Task<FsResult<void>> DfsClient::rmdir(const fs::Path& path) {
+  if (!path.valid() || path.is_root()) co_return fs::fail(FsError::invalid);
+  auto parent = co_await resolve_dir(path.parent());
+  if (!parent) co_return fs::fail(parent.error());
+  MetaRequest req;
+  req.op = MetaOp::rmdir;
+  req.parent = parent->ino;
+  req.name = std::string(path.name());
+  req.creds = config_.creds;
+  const MetaResponse resp = co_await meta_call(std::move(req));
+  if (resp.status != FsError::ok) co_return fs::fail(resp.status);
+  cache_erase(path.str());
+  co_return FsResult<void>{};
+}
+
+sim::Task<FsResult<std::vector<fs::DirEntry>>> DfsClient::readdir(const fs::Path& path) {
+  auto dir = co_await resolve_dir(path);
+  if (!dir) co_return fs::fail(dir.error());
+  MetaRequest req;
+  req.op = MetaOp::readdir;
+  req.ino = dir->ino;
+  req.creds = config_.creds;
+  MetaResponse resp = co_await meta_call(std::move(req));
+  if (resp.status != FsError::ok) co_return fs::fail(resp.status);
+  co_return std::move(resp.entries);
+}
+
+sim::Task<FsResult<std::uint64_t>> DfsClient::write(const fs::Path& path, std::uint64_t offset,
+                                                    std::uint64_t length) {
+  auto attr = co_await resolve(path);
+  if (!attr) co_return fs::fail(attr.error());
+  if (attr->is_dir()) co_return fs::fail(FsError::is_a_directory);
+  const std::uint64_t chunk_bytes = cluster_.config().chunk_bytes;
+
+  std::vector<sim::Task<DataResponse>> transfers;
+  std::uint64_t pos = offset;
+  const std::uint64_t end = offset + length;
+  while (pos < end) {
+    const std::uint64_t chunk = pos / chunk_bytes;
+    const std::uint64_t in_chunk = pos % chunk_bytes;
+    const std::uint64_t take = std::min(end - pos, chunk_bytes - in_chunk);
+    DataRequest req;
+    req.op = DataOp::write;
+    req.ino = attr->ino;
+    req.chunk = chunk;
+    req.offset_in_chunk = static_cast<std::uint32_t>(in_chunk);
+    req.length = static_cast<std::uint32_t>(take);
+    ++data_rpcs_;
+    transfers.push_back(cluster_.storage_for_chunk(chunk).call(node_, std::move(req)));
+    pos += take;
+  }
+  const auto responses = co_await sim::when_all_values(sim_, std::move(transfers));
+  std::uint64_t written = 0;
+  for (const auto& r : responses) {
+    if (r.status != FsError::ok) co_return fs::fail(r.status);
+    written += r.transferred;
+  }
+  // Size propagation to the MDS (the real client piggybacks this on close).
+  MetaRequest size_req;
+  size_req.op = MetaOp::set_size;
+  size_req.ino = attr->ino;
+  size_req.size = offset + length;
+  size_req.creds = config_.creds;
+  const MetaResponse size_resp = co_await meta_call(std::move(size_req));
+  if (size_resp.status != FsError::ok) co_return fs::fail(size_resp.status);
+  cache_insert(path.str(), size_resp.attr);
+  co_return written;
+}
+
+sim::Task<FsResult<std::uint64_t>> DfsClient::read(const fs::Path& path, std::uint64_t offset,
+                                                   std::uint64_t length) {
+  auto attr = co_await resolve(path);
+  if (!attr) co_return fs::fail(attr.error());
+  if (attr->is_dir()) co_return fs::fail(FsError::is_a_directory);
+  const std::uint64_t chunk_bytes = cluster_.config().chunk_bytes;
+
+  std::vector<sim::Task<DataResponse>> transfers;
+  std::uint64_t pos = offset;
+  const std::uint64_t end = offset + length;
+  while (pos < end) {
+    const std::uint64_t chunk = pos / chunk_bytes;
+    const std::uint64_t in_chunk = pos % chunk_bytes;
+    const std::uint64_t take = std::min(end - pos, chunk_bytes - in_chunk);
+    DataRequest req;
+    req.op = DataOp::read;
+    req.ino = attr->ino;
+    req.chunk = chunk;
+    req.offset_in_chunk = static_cast<std::uint32_t>(in_chunk);
+    req.length = static_cast<std::uint32_t>(take);
+    ++data_rpcs_;
+    transfers.push_back(cluster_.storage_for_chunk(chunk).call(node_, std::move(req)));
+    pos += take;
+  }
+  const auto responses = co_await sim::when_all_values(sim_, std::move(transfers));
+  std::uint64_t bytes = 0;
+  for (const auto& r : responses) {
+    if (r.status != FsError::ok) co_return fs::fail(r.status);
+    bytes += r.transferred;
+  }
+  co_return bytes;
+}
+
+sim::Task<FsResult<void>> DfsClient::fsync(const fs::Path& path) {
+  auto attr = co_await resolve(path);
+  if (!attr) co_return fs::fail(attr.error());
+  MetaRequest req;
+  req.op = MetaOp::getattr;
+  req.ino = attr->ino;
+  req.creds = config_.creds;
+  const MetaResponse resp = co_await meta_call(std::move(req));
+  if (resp.status != FsError::ok) co_return fs::fail(resp.status);
+  co_return FsResult<void>{};
+}
+
+}  // namespace pacon::dfs

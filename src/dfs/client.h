@@ -1,0 +1,104 @@
+// DFS client (BeeGFS-client substitute).
+//
+// Resolves paths against the MDS one component at a time -- the network cost
+// that makes deep namespaces slow (paper Fig. 2) -- through a TTL'd LRU
+// dentry cache that models the kernel-client cache: helpful for a hot shared
+// parent directory, useless for random access over a large namespace. File
+// data is striped over the storage servers in fixed-size chunks.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dfs/cluster.h"
+#include "fs/error.h"
+#include "fs/path.h"
+#include "fs/types.h"
+#include "net/fabric.h"
+#include "sim/simulation.h"
+
+namespace pacon::dfs {
+
+struct DfsClientConfig {
+  fs::Credentials creds{};
+  std::size_t dentry_cache_capacity = 4096;
+  /// Cached dentries are revalidated after this long -- the BeeGFS client's
+  /// (short) entry-validity window under its strong-consistency contract.
+  sim::SimDuration dentry_ttl = 2_ms;
+};
+
+class DfsClient {
+ public:
+  DfsClient(sim::Simulation& sim, DfsCluster& cluster, net::NodeId node,
+            DfsClientConfig config = {});
+  DfsClient(const DfsClient&) = delete;
+  DfsClient& operator=(const DfsClient&) = delete;
+
+  net::NodeId node() const { return node_; }
+  const DfsClientConfig& config() const { return config_; }
+
+  // Metadata operations (all paths absolute & canonical).
+  sim::Task<fs::FsResult<fs::InodeAttr>> mkdir(const fs::Path& path, fs::FileMode mode);
+  sim::Task<fs::FsResult<fs::InodeAttr>> create(const fs::Path& path, fs::FileMode mode);
+  sim::Task<fs::FsResult<fs::InodeAttr>> getattr(const fs::Path& path);
+  sim::Task<fs::FsResult<void>> unlink(const fs::Path& path);
+  sim::Task<fs::FsResult<void>> rmdir(const fs::Path& path);
+  sim::Task<fs::FsResult<std::vector<fs::DirEntry>>> readdir(const fs::Path& path);
+
+  // Data operations; payloads are sizes (contents are not simulated).
+  sim::Task<fs::FsResult<std::uint64_t>> write(const fs::Path& path, std::uint64_t offset,
+                                               std::uint64_t length);
+  sim::Task<fs::FsResult<std::uint64_t>> read(const fs::Path& path, std::uint64_t offset,
+                                              std::uint64_t length);
+  /// Durability barrier; our writes are write-through, so this only verifies
+  /// the file still exists (one MDS round trip, as the real client fsync
+  /// costs at least that).
+  sim::Task<fs::FsResult<void>> fsync(const fs::Path& path);
+
+  /// Drops every cached dentry (tests and failure handling).
+  void invalidate_cache();
+
+  std::uint64_t lookup_rpcs() const { return lookup_rpcs_; }
+  std::uint64_t meta_rpcs() const { return meta_rpcs_; }
+  std::uint64_t data_rpcs() const { return data_rpcs_; }
+  std::uint64_t dentry_hits() const { return dentry_hits_; }
+
+ private:
+  struct CachedEntry {
+    fs::InodeAttr attr;
+    sim::SimTime expires_at = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  /// Resolves `path` to its attributes via cached prefixes + lookup RPCs.
+  /// `fresh_leaf` forces the final component over the wire even when cached:
+  /// stat must return current attributes, so only intermediate directories
+  /// benefit from the dentry cache (matching the real client).
+  sim::Task<fs::FsResult<fs::InodeAttr>> resolve(const fs::Path& path, bool fresh_leaf = false);
+  /// Resolve, requiring the result to be a directory.
+  sim::Task<fs::FsResult<fs::InodeAttr>> resolve_dir(const fs::Path& path);
+
+  sim::Task<MetaResponse> meta_call(MetaRequest req);
+
+  const fs::InodeAttr* cache_find(const std::string& path);
+  void cache_insert(const std::string& path, const fs::InodeAttr& attr);
+  void cache_erase(const std::string& path);
+
+  sim::Simulation& sim_;
+  DfsCluster& cluster_;
+  net::NodeId node_;
+  DfsClientConfig config_;
+
+  std::unordered_map<std::string, CachedEntry> dentries_;
+  std::list<std::string> dentry_lru_;
+  std::uint64_t lookup_rpcs_ = 0;
+  std::uint64_t meta_rpcs_ = 0;
+  std::uint64_t data_rpcs_ = 0;
+  std::uint64_t dentry_hits_ = 0;
+};
+
+}  // namespace pacon::dfs

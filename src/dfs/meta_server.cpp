@@ -1,0 +1,271 @@
+#include "dfs/meta_server.h"
+
+#include <cassert>
+
+namespace pacon::dfs {
+
+using fs::FsError;
+
+MetaServer::MetaServer(sim::Simulation& sim, net::Fabric& fabric, net::NodeId node,
+                       sim::SimDisk& disk, MetaServerConfig config)
+    : sim_(sim), node_(node), disk_(disk), config_(config) {
+  // Shard-unique inode numbers: high bits carry the node id.
+  next_ino_ = (static_cast<fs::Ino>(node.value + 1) << 40) + 1;
+  net::RpcService<MetaRequest, MetaResponse>::Config rpc_cfg;
+  rpc_cfg.workers = config_.workers;
+  rpc_cfg.queue_capacity = config_.queue_capacity;
+  rpc_ = std::make_unique<net::RpcService<MetaRequest, MetaResponse>>(
+      sim, fabric, node, [this](MetaRequest req) { return handle(std::move(req)); }, rpc_cfg);
+}
+
+void MetaServer::install_root() {
+  Inode root;
+  root.attr.ino = fs::kRootIno;
+  root.attr.type = fs::FileType::directory;
+  // World-writable scratch root, as HPC shared filesystems are deployed:
+  // applications create their own workspace directories under it.
+  root.attr.mode = fs::FileMode{0x7, 0x7, 0x7};
+  root.attr.nlink = 2;
+  inodes_.emplace(fs::kRootIno, std::move(root));
+}
+
+void MetaServer::adopt_directory(const fs::InodeAttr& attr) {
+  assert(attr.is_dir());
+  Inode dir;
+  dir.attr = attr;
+  inodes_.emplace(attr.ino, std::move(dir));
+}
+
+sim::Task<MetaResponse> MetaServer::handle(MetaRequest req) {
+  const bool mutation = req.op == MetaOp::create || req.op == MetaOp::unlink ||
+                        req.op == MetaOp::rmdir || req.op == MetaOp::set_size;
+  co_await sim_.delay(mutation ? config_.write_cpu_time : config_.read_cpu_time);
+  // Charge a disk read if the touched directory inode is cold.
+  const fs::Ino hot_ino = req.op == MetaOp::getattr || req.op == MetaOp::readdir ||
+                                  req.op == MetaOp::set_size
+                              ? req.ino
+                              : req.parent;
+  co_await charge_cache(hot_ino);
+  MetaResponse resp = apply(req);
+  if (mutation && resp.status == FsError::ok) {
+    co_await disk_.write(config_.wal_record_bytes);
+  }
+  if (req.op == MetaOp::readdir && resp.status == FsError::ok) {
+    co_await sim_.delay(static_cast<sim::SimDuration>(resp.entries.size()) *
+                        config_.per_entry_cpu_time);
+  }
+  ++ops_served_;
+  co_return resp;
+}
+
+sim::Task<> MetaServer::charge_cache(fs::Ino ino) {
+  if (ino == fs::kInvalidIno) co_return;
+  if (auto it = cache_index_.find(ino); it != cache_index_.end()) {
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    co_return;
+  }
+  ++cache_misses_;
+  co_await disk_.read(4096);
+  touch_cache(ino);
+}
+
+void MetaServer::touch_cache(fs::Ino ino) {
+  cache_lru_.push_front(ino);
+  cache_index_[ino] = cache_lru_.begin();
+  while (cache_index_.size() > config_.cache_capacity) {
+    cache_index_.erase(cache_lru_.back());
+    cache_lru_.pop_back();
+  }
+}
+
+MetaResponse MetaServer::apply(const MetaRequest& req) {
+  switch (req.op) {
+    case MetaOp::lookup: return do_lookup(req);
+    case MetaOp::getattr: return do_getattr(req);
+    case MetaOp::create: return do_create(req);
+    case MetaOp::unlink: return do_unlink(req);
+    case MetaOp::rmdir: return do_rmdir(req);
+    case MetaOp::readdir: return do_readdir(req);
+    case MetaOp::set_size: return do_set_size(req);
+  }
+  MetaResponse resp;
+  resp.status = FsError::unsupported;
+  return resp;
+}
+
+MetaServer::Inode* MetaServer::find_dir(fs::Ino ino, FsError& err) {
+  auto it = inodes_.find(ino);
+  if (it == inodes_.end()) {
+    err = FsError::not_found;
+    return nullptr;
+  }
+  if (!it->second.attr.is_dir()) {
+    err = FsError::not_a_directory;
+    return nullptr;
+  }
+  return &it->second;
+}
+
+MetaResponse MetaServer::do_lookup(const MetaRequest& req) {
+  MetaResponse resp;
+  Inode* parent = find_dir(req.parent, resp.status);
+  if (!parent) return resp;
+  if (!fs::permits(parent->attr.mode, parent->attr.uid, parent->attr.gid, req.creds,
+                   fs::Access::execute)) {
+    resp.status = FsError::permission;
+    return resp;
+  }
+  auto it = parent->children.find(req.name);
+  if (it == parent->children.end()) {
+    resp.status = FsError::not_found;
+    return resp;
+  }
+  auto child = inodes_.find(it->second);
+  if (child == inodes_.end()) {
+    // Dentry points into another shard; report attr-less success so the
+    // client retries against the owning server.
+    resp.status = FsError::stale;
+    resp.attr.ino = it->second;
+    return resp;
+  }
+  resp.attr = child->second.attr;
+  return resp;
+}
+
+MetaResponse MetaServer::do_getattr(const MetaRequest& req) {
+  MetaResponse resp;
+  auto it = inodes_.find(req.ino);
+  if (it == inodes_.end()) {
+    resp.status = FsError::not_found;
+    return resp;
+  }
+  resp.attr = it->second.attr;
+  return resp;
+}
+
+MetaResponse MetaServer::do_create(const MetaRequest& req) {
+  MetaResponse resp;
+  Inode* parent = find_dir(req.parent, resp.status);
+  if (!parent) return resp;
+  if (!fs::permits(parent->attr.mode, parent->attr.uid, parent->attr.gid, req.creds,
+                   fs::Access::write) ||
+      !fs::permits(parent->attr.mode, parent->attr.uid, parent->attr.gid, req.creds,
+                   fs::Access::execute)) {
+    resp.status = FsError::permission;
+    return resp;
+  }
+  if (parent->children.contains(req.name)) {
+    resp.status = FsError::exists;
+    return resp;
+  }
+  Inode child;
+  child.attr.ino = next_ino_++;
+  child.attr.type = req.type;
+  child.attr.mode = req.mode;
+  child.attr.uid = req.creds.uid;
+  child.attr.gid = req.creds.gid;
+  child.attr.nlink = req.type == fs::FileType::directory ? 2 : 1;
+  child.attr.ctime = sim_.now();
+  child.attr.mtime = sim_.now();
+  resp.attr = child.attr;
+  parent->children.emplace(req.name, child.attr.ino);
+  parent->attr.mtime = sim_.now();
+  if (req.type == fs::FileType::directory) ++parent->attr.nlink;
+  inodes_.emplace(resp.attr.ino, std::move(child));
+  return resp;
+}
+
+MetaResponse MetaServer::do_unlink(const MetaRequest& req) {
+  MetaResponse resp;
+  Inode* parent = find_dir(req.parent, resp.status);
+  if (!parent) return resp;
+  if (!fs::permits(parent->attr.mode, parent->attr.uid, parent->attr.gid, req.creds,
+                   fs::Access::write)) {
+    resp.status = FsError::permission;
+    return resp;
+  }
+  auto it = parent->children.find(req.name);
+  if (it == parent->children.end()) {
+    resp.status = FsError::not_found;
+    return resp;
+  }
+  auto child = inodes_.find(it->second);
+  if (child != inodes_.end()) {
+    if (child->second.attr.is_dir()) {
+      resp.status = FsError::is_a_directory;
+      return resp;
+    }
+    inodes_.erase(child);
+  }
+  parent->children.erase(it);
+  parent->attr.mtime = sim_.now();
+  return resp;
+}
+
+MetaResponse MetaServer::do_rmdir(const MetaRequest& req) {
+  MetaResponse resp;
+  Inode* parent = find_dir(req.parent, resp.status);
+  if (!parent) return resp;
+  if (!fs::permits(parent->attr.mode, parent->attr.uid, parent->attr.gid, req.creds,
+                   fs::Access::write)) {
+    resp.status = FsError::permission;
+    return resp;
+  }
+  auto it = parent->children.find(req.name);
+  if (it == parent->children.end()) {
+    resp.status = FsError::not_found;
+    return resp;
+  }
+  auto child = inodes_.find(it->second);
+  if (child == inodes_.end()) {
+    resp.status = FsError::stale;  // child hosted on another shard
+    return resp;
+  }
+  if (!child->second.attr.is_dir()) {
+    resp.status = FsError::not_a_directory;
+    return resp;
+  }
+  if (!child->second.children.empty()) {
+    resp.status = FsError::not_empty;
+    return resp;
+  }
+  inodes_.erase(child);
+  parent->children.erase(it);
+  parent->attr.mtime = sim_.now();
+  --parent->attr.nlink;
+  return resp;
+}
+
+MetaResponse MetaServer::do_readdir(const MetaRequest& req) {
+  MetaResponse resp;
+  Inode* dir = find_dir(req.ino, resp.status);
+  if (!dir) return resp;
+  resp.entries.reserve(dir->children.size());
+  for (const auto& [name, ino] : dir->children) {
+    auto child = inodes_.find(ino);
+    const fs::FileType type = child != inodes_.end() && child->second.attr.is_dir()
+                                  ? fs::FileType::directory
+                                  : fs::FileType::file;
+    resp.entries.push_back(fs::DirEntry{name, type});
+  }
+  return resp;
+}
+
+MetaResponse MetaServer::do_set_size(const MetaRequest& req) {
+  MetaResponse resp;
+  auto it = inodes_.find(req.ino);
+  if (it == inodes_.end()) {
+    resp.status = FsError::not_found;
+    return resp;
+  }
+  if (it->second.attr.is_dir()) {
+    resp.status = FsError::is_a_directory;
+    return resp;
+  }
+  it->second.attr.size = std::max(it->second.attr.size, req.size);
+  it->second.attr.mtime = sim_.now();
+  resp.attr = it->second.attr;
+  return resp;
+}
+
+}  // namespace pacon::dfs

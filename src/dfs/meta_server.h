@@ -1,0 +1,111 @@
+// Centralized metadata server (one MDS of the BeeGFS-like DFS).
+//
+// Owns a shard of the namespace: directory entries and inode attributes,
+// held in real maps and persisted through a simulated write-ahead log on the
+// MDS disk. Every mutation pays CPU service time plus a WAL write; lookups
+// pay CPU plus, for inodes that fell out of the server-side metadata cache,
+// a disk read. The bounded RPC worker pool makes an overloaded MDS queue --
+// which is exactly the client-scalability wall the paper measures (Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dfs/protocol.h"
+#include "net/fabric.h"
+#include "net/rpc.h"
+#include "sim/disk.h"
+#include "sim/simulation.h"
+
+namespace pacon::dfs {
+
+using namespace sim::literals;
+
+struct MetaServerConfig {
+  /// CPU service time for a pure-read operation (lookup/getattr/readdir).
+  sim::SimDuration read_cpu_time = 18_us;
+  /// CPU service time for a namespace mutation. Covers lock acquisition,
+  /// dentry + inode updates and RPC bookkeeping; calibrated so a single MDS
+  /// saturates in the tens of kilo-ops/s, as BeeGFS does in the paper.
+  sim::SimDuration write_cpu_time = 95_us;
+  /// Bytes journaled per mutation.
+  std::uint64_t wal_record_bytes = 192;
+  /// Extra readdir CPU per directory entry returned.
+  sim::SimDuration per_entry_cpu_time = 150_ns;
+  /// Server-side metadata cache capacity (inodes); misses read from disk.
+  std::size_t cache_capacity = 200'000;
+  /// RPC worker pool (MDS request-handler threads).
+  std::size_t workers = 8;
+  std::size_t queue_capacity = 4096;
+};
+
+class MetaServer {
+ public:
+  MetaServer(sim::Simulation& sim, net::Fabric& fabric, net::NodeId node,
+             sim::SimDisk& disk, MetaServerConfig config = {});
+  MetaServer(const MetaServer&) = delete;
+  MetaServer& operator=(const MetaServer&) = delete;
+
+  net::NodeId node() const { return node_; }
+
+  sim::Task<MetaResponse> call(net::NodeId from, MetaRequest req) {
+    return rpc_->call(from, std::move(req));
+  }
+
+  /// Installs the shared root inode. Exactly one MDS in a cluster roots the
+  /// namespace; with directory sharding others host subsets of dirs.
+  void install_root();
+
+  /// Registers a directory created on another shard so this server can hold
+  /// its children (directory-sharded deployments).
+  void adopt_directory(const fs::InodeAttr& attr);
+
+  // Introspection.
+  std::size_t inode_count() const { return inodes_.size(); }
+  std::uint64_t cache_misses() const { return cache_misses_; }
+  std::uint64_t ops_served() const { return ops_served_; }
+
+  /// Applies an operation without RPC or cost charging (test seeding).
+  MetaResponse apply(const MetaRequest& req);
+
+ private:
+  struct Inode {
+    fs::InodeAttr attr;
+    std::map<std::string, fs::Ino> children;  // directories only
+  };
+
+  sim::Task<MetaResponse> handle(MetaRequest req);
+  sim::Task<> charge_cache(fs::Ino ino);
+  void touch_cache(fs::Ino ino);
+
+  MetaResponse do_lookup(const MetaRequest& req);
+  MetaResponse do_getattr(const MetaRequest& req);
+  MetaResponse do_create(const MetaRequest& req);
+  MetaResponse do_unlink(const MetaRequest& req);
+  MetaResponse do_rmdir(const MetaRequest& req);
+  MetaResponse do_readdir(const MetaRequest& req);
+  MetaResponse do_set_size(const MetaRequest& req);
+
+  Inode* find_dir(fs::Ino ino, fs::FsError& err);
+
+  sim::Simulation& sim_;
+  net::NodeId node_;
+  sim::SimDisk& disk_;
+  MetaServerConfig config_;
+  std::unordered_map<fs::Ino, Inode> inodes_;
+  fs::Ino next_ino_ = fs::kRootIno + 1;
+  std::uint64_t ops_served_ = 0;
+
+  // Server-side metadata cache model: LRU set of hot inode numbers.
+  std::list<fs::Ino> cache_lru_;
+  std::unordered_map<fs::Ino, std::list<fs::Ino>::iterator> cache_index_;
+  std::uint64_t cache_misses_ = 0;
+
+  std::unique_ptr<net::RpcService<MetaRequest, MetaResponse>> rpc_;
+};
+
+}  // namespace pacon::dfs

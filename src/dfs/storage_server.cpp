@@ -1,0 +1,41 @@
+#include "dfs/storage_server.h"
+
+namespace pacon::dfs {
+
+StorageServer::StorageServer(sim::Simulation& sim, net::Fabric& fabric, net::NodeId node,
+                             sim::SimDisk& disk, StorageServerConfig config)
+    : sim_(sim), node_(node), disk_(disk), config_(config) {
+  net::RpcService<DataRequest, DataResponse>::Config rpc_cfg;
+  rpc_cfg.workers = config_.workers;
+  rpc_cfg.queue_capacity = config_.queue_capacity;
+  // Data messages carry their payload on the wire.
+  rpc_cfg.request_bytes = 4096;
+  rpc_cfg.response_bytes = 4096;
+  rpc_ = std::make_unique<net::RpcService<DataRequest, DataResponse>>(
+      sim, fabric, node, [this](DataRequest req) { return handle(std::move(req)); }, rpc_cfg);
+}
+
+sim::Task<DataResponse> StorageServer::handle(DataRequest req) {
+  co_await sim_.delay(config_.op_cpu_time);
+  DataResponse resp;
+  const auto key = std::make_pair(req.ino, req.chunk);
+  if (req.op == DataOp::write) {
+    co_await disk_.write(req.length);
+    auto& filled = chunks_[key];
+    filled = std::max(filled, req.offset_in_chunk + req.length);
+    bytes_written_ += req.length;
+    resp.transferred = req.length;
+    co_return resp;
+  }
+  auto it = chunks_.find(key);
+  if (it == chunks_.end() || it->second < req.offset_in_chunk + req.length) {
+    resp.status = fs::FsError::not_found;  // read past what was written
+    co_return resp;
+  }
+  co_await disk_.read(req.length);
+  bytes_read_ += req.length;
+  resp.transferred = req.length;
+  co_return resp;
+}
+
+}  // namespace pacon::dfs

@@ -1,0 +1,60 @@
+// Chunk storage server of the BeeGFS-like DFS.
+//
+// Holds striped file chunks. Data contents are not materialized (no
+// experiment reads payloads back); what matters for the evaluation is the
+// time: every access pays CPU service plus a disk transfer on the server's
+// own device. Chunk fill levels are tracked so reads past EOF fail.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "dfs/protocol.h"
+#include "net/fabric.h"
+#include "net/rpc.h"
+#include "sim/disk.h"
+#include "sim/simulation.h"
+
+namespace pacon::dfs {
+
+using namespace sim::literals;
+
+struct StorageServerConfig {
+  sim::SimDuration op_cpu_time = 15_us;
+  std::size_t workers = 16;
+  std::size_t queue_capacity = 4096;
+};
+
+class StorageServer {
+ public:
+  StorageServer(sim::Simulation& sim, net::Fabric& fabric, net::NodeId node,
+                sim::SimDisk& disk, StorageServerConfig config = {});
+  StorageServer(const StorageServer&) = delete;
+  StorageServer& operator=(const StorageServer&) = delete;
+
+  net::NodeId node() const { return node_; }
+
+  sim::Task<DataResponse> call(net::NodeId from, DataRequest req) {
+    return rpc_->call(from, std::move(req));
+  }
+
+  std::uint64_t chunks_stored() const { return chunks_.size(); }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  sim::Task<DataResponse> handle(DataRequest req);
+
+  sim::Simulation& sim_;
+  net::NodeId node_;
+  sim::SimDisk& disk_;
+  StorageServerConfig config_;
+  std::map<std::pair<fs::Ino, std::uint64_t>, std::uint32_t> chunks_;  // -> filled bytes
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::unique_ptr<net::RpcService<DataRequest, DataResponse>> rpc_;
+};
+
+}  // namespace pacon::dfs

@@ -1,0 +1,89 @@
+// Minimal expected<T, E> (std::expected is C++23; this toolchain is C++20).
+//
+// Only what the filesystem layers need: value-or-error, monadic-free, with
+// asserting accessors. Errors are small enums; values may be move-only.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+namespace pacon::fs {
+
+template <typename E>
+class Unexpected {
+ public:
+  explicit constexpr Unexpected(E e) : error_(e) {}
+  constexpr E error() const { return error_; }
+
+ private:
+  E error_;
+};
+
+template <typename E>
+Unexpected(E) -> Unexpected<E>;
+
+template <typename T, typename E>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> e) : storage_(std::in_place_index<1>, e.error()) {}
+
+  bool has_value() const { return storage_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() & {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  const T& value() const& {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  T&& value() && {
+    assert(has_value());
+    return std::get<0>(std::move(storage_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  E error() const {
+    assert(!has_value());
+    return std::get<1>(storage_);
+  }
+
+  /// The value, or `fallback` when this holds an error.
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return has_value() ? value() : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+/// void specialization: success or error.
+template <typename E>
+class Expected<void, E> {
+ public:
+  Expected() = default;
+  Expected(Unexpected<E> e) : error_(e.error()), has_error_(true) {}
+
+  bool has_value() const { return !has_error_; }
+  explicit operator bool() const { return has_value(); }
+
+  E error() const {
+    assert(has_error_);
+    return error_;
+  }
+
+ private:
+  E error_{};
+  bool has_error_ = false;
+};
+
+}  // namespace pacon::fs

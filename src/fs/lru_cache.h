@@ -1,0 +1,78 @@
+// TTL'd LRU cache keyed by string (path) -- the shape shared by the DFS
+// dentry cache and the IndexFS lease cache.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "sim/time.h"
+
+namespace pacon::fs {
+
+template <typename V>
+class LruTtlCache {
+ public:
+  LruTtlCache(std::size_t capacity, sim::SimDuration ttl) : capacity_(capacity), ttl_(ttl) {}
+
+  /// Value for `key` if present and fresh at time `now`; nullptr otherwise.
+  const V* find(const std::string& key, sim::SimTime now) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    if (it->second.expires_at < now) {
+      lru_.erase(it->second.lru_pos);
+      map_.erase(it);
+      return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    ++hits_;
+    return &it->second.value;
+  }
+
+  void insert(const std::string& key, V value, sim::SimTime now) {
+    if (capacity_ == 0) return;
+    if (auto it = map_.find(key); it != map_.end()) {
+      it->second.value = std::move(value);
+      it->second.expires_at = now + ttl_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return;
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Entry{std::move(value), now + ttl_, lru_.begin()});
+    while (map_.size() > capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+
+  void erase(const std::string& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    lru_.erase(it->second.lru_pos);
+    map_.erase(it);
+  }
+
+  void clear() {
+    map_.clear();
+    lru_.clear();
+  }
+
+  std::size_t size() const { return map_.size(); }
+  std::uint64_t hits() const { return hits_; }
+
+ private:
+  struct Entry {
+    V value;
+    sim::SimTime expires_at;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  std::size_t capacity_;
+  sim::SimDuration ttl_;
+  std::unordered_map<std::string, Entry> map_;
+  std::list<std::string> lru_;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace pacon::fs

@@ -1,0 +1,91 @@
+#include "fs/path.h"
+
+#include <algorithm>
+
+namespace pacon::fs {
+namespace {
+
+bool component_ok(std::string_view c) {
+  return !c.empty() && c != "." && c != ".." && c.find('/') == std::string_view::npos;
+}
+
+}  // namespace
+
+Path Path::parse(std::string_view raw) {
+  if (raw.empty() || raw.front() != '/') return Path(std::string{});
+  std::string canon;
+  canon.reserve(raw.size());
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    while (i < raw.size() && raw[i] == '/') ++i;  // skip slash runs
+    const std::size_t start = i;
+    while (i < raw.size() && raw[i] != '/') ++i;
+    const std::string_view comp = raw.substr(start, i - start);
+    if (comp.empty() || comp == ".") continue;
+    if (comp == "..") return Path(std::string{});  // no dot-dot traversal
+    canon.push_back('/');
+    canon.append(comp);
+  }
+  if (canon.empty()) canon = "/";
+  return Path(std::move(canon));
+}
+
+std::size_t Path::depth() const {
+  if (is_root()) return 0;
+  return static_cast<std::size_t>(std::count(repr_.begin(), repr_.end(), '/'));
+}
+
+std::string_view Path::name() const {
+  if (is_root()) return {};
+  const auto pos = repr_.rfind('/');
+  return std::string_view(repr_).substr(pos + 1);
+}
+
+Path Path::parent() const {
+  if (is_root()) return Path();
+  const auto pos = repr_.rfind('/');
+  if (pos == 0) return Path();
+  return Path(repr_.substr(0, pos));
+}
+
+Path Path::child(std::string_view component) const {
+  if (!valid() || !component_ok(component)) return Path(std::string{});
+  std::string out = is_root() ? std::string{} : repr_;
+  out.push_back('/');
+  out.append(component);
+  return Path(std::move(out));
+}
+
+std::vector<std::string_view> Path::components() const {
+  std::vector<std::string_view> out;
+  if (is_root() || !valid()) return out;
+  const std::string_view s(repr_);
+  std::size_t i = 1;  // skip leading slash
+  while (i <= s.size()) {
+    const auto next = s.find('/', i);
+    if (next == std::string_view::npos) {
+      out.push_back(s.substr(i));
+      break;
+    }
+    out.push_back(s.substr(i, next - i));
+    i = next + 1;
+  }
+  return out;
+}
+
+bool Path::is_prefix_of(const Path& other) const {
+  if (!valid() || !other.valid()) return false;
+  if (is_root()) return true;
+  if (other.repr_.size() < repr_.size()) return false;
+  if (!other.repr_.starts_with(repr_)) return false;
+  return other.repr_.size() == repr_.size() || other.repr_[repr_.size()] == '/';
+}
+
+std::string_view Path::relative_to(const Path& prefix) const {
+  if (!prefix.is_prefix_of(*this)) return {};
+  if (prefix.is_root()) return std::string_view(repr_).substr(1);
+  if (repr_.size() == prefix.repr_.size()) return {};
+  return std::string_view(repr_).substr(prefix.repr_.size() + 1);
+}
+
+}  // namespace pacon::fs

@@ -1,0 +1,72 @@
+// Normalized absolute path value type.
+//
+// Pacon addresses metadata by full path (the distributed cache key), so the
+// path type is central: it guarantees a canonical spelling ("/a/b", no
+// trailing slash, no empty/dot components) and offers cheap component and
+// prefix queries used by region routing and permission checks.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pacon::fs {
+
+class Path {
+ public:
+  /// The filesystem root, "/".
+  Path() : repr_("/") {}
+
+  /// Parses and normalizes `raw`. Accepts absolute paths only; relative
+  /// input, "." / ".." components and repeated slashes are normalized away
+  /// or rejected by valid().
+  static Path parse(std::string_view raw);
+
+  /// True when construction produced a canonical absolute path.
+  bool valid() const { return !repr_.empty(); }
+
+  bool is_root() const { return repr_ == "/"; }
+
+  /// Canonical spelling; "/" for the root.
+  const std::string& str() const { return repr_; }
+
+  /// Number of components; 0 for the root.
+  std::size_t depth() const;
+
+  /// Final component ("" for the root).
+  std::string_view name() const;
+
+  /// Parent path; the root is its own parent.
+  Path parent() const;
+
+  /// Child of this path. `component` must be a single plain component.
+  Path child(std::string_view component) const;
+
+  /// All components from the root down.
+  std::vector<std::string_view> components() const;
+
+  /// True when `this` equals or is an ancestor of `other`.
+  bool is_prefix_of(const Path& other) const;
+
+  /// The path of `other` relative to `this` ("" if equal); requires
+  /// is_prefix_of(other).
+  std::string_view relative_to(const Path& prefix) const;
+
+  friend bool operator==(const Path&, const Path&) = default;
+  friend auto operator<=>(const Path&, const Path&) = default;
+
+ private:
+  explicit Path(std::string repr) : repr_(std::move(repr)) {}
+
+  std::string repr_;  // canonical, or empty for invalid
+};
+
+}  // namespace pacon::fs
+
+template <>
+struct std::hash<pacon::fs::Path> {
+  std::size_t operator()(const pacon::fs::Path& p) const noexcept {
+    return std::hash<std::string>{}(p.str());
+  }
+};

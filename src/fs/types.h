@@ -1,0 +1,84 @@
+// Metadata value types shared by every filesystem layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pacon::fs {
+
+/// Inode number. 0 is reserved as invalid; 1 is the root directory.
+using Ino = std::uint64_t;
+constexpr Ino kInvalidIno = 0;
+constexpr Ino kRootIno = 1;
+
+/// System user/group ids (one per HPC application in the paper's setting).
+using Uid = std::uint32_t;
+using Gid = std::uint32_t;
+
+/// POSIX-style permission bits plus the file-type flag the layers care about.
+struct FileMode {
+  static constexpr std::uint16_t kRead = 0x4;
+  static constexpr std::uint16_t kWrite = 0x2;
+  static constexpr std::uint16_t kExec = 0x1;
+
+  std::uint16_t owner = kRead | kWrite | kExec;
+  std::uint16_t group = kRead | kExec;
+  std::uint16_t other = kRead | kExec;
+
+  static FileMode file_default() { return FileMode{0x6, 0x4, 0x4}; }  // rw-r--r--
+  static FileMode dir_default() { return FileMode{0x7, 0x5, 0x5}; }   // rwxr-xr-x
+
+  friend bool operator==(const FileMode&, const FileMode&) = default;
+};
+
+enum class FileType : std::uint8_t { file, directory };
+
+/// Attributes of one namespace object, as returned by getattr.
+struct InodeAttr {
+  Ino ino = kInvalidIno;
+  FileType type = FileType::file;
+  FileMode mode{};
+  Uid uid = 0;
+  Gid gid = 0;
+  std::uint64_t size = 0;
+  std::uint32_t nlink = 1;
+  sim::SimTime ctime = 0;
+  sim::SimTime mtime = 0;
+
+  bool is_dir() const { return type == FileType::directory; }
+
+  friend bool operator==(const InodeAttr&, const InodeAttr&) = default;
+};
+
+/// One readdir row.
+struct DirEntry {
+  std::string name;
+  FileType type = FileType::file;
+
+  friend bool operator==(const DirEntry&, const DirEntry&) = default;
+};
+
+/// The identity an application presents to the metadata layers.
+struct Credentials {
+  Uid uid = 0;
+  Gid gid = 0;
+};
+
+/// Access kind for permission checks.
+enum class Access : std::uint8_t { read, write, execute };
+
+/// POSIX-style permission evaluation of `mode` for `creds` wanting `access`.
+inline bool permits(const FileMode& mode, Uid owner, Gid group, const Credentials& creds,
+                    Access access) {
+  const std::uint16_t bit = access == Access::read    ? FileMode::kRead
+                            : access == Access::write ? FileMode::kWrite
+                                                      : FileMode::kExec;
+  if (creds.uid == owner) return (mode.owner & bit) != 0;
+  if (creds.gid == group) return (mode.group & bit) != 0;
+  return (mode.other & bit) != 0;
+}
+
+}  // namespace pacon::fs

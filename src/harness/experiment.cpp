@@ -1,0 +1,47 @@
+#include "harness/experiment.h"
+
+namespace pacon::harness {
+namespace {
+
+sim::Task<> client_loop(sim::Simulation& sim, const OpFactory& op, std::size_t client,
+                        sim::SimTime window_start, sim::SimTime deadline,
+                        std::uint64_t& counted) {
+  std::uint64_t index = 0;
+  while (sim.now() < deadline) {
+    const bool ok = co_await op(client, index++);
+    if (ok && sim.now() >= window_start && sim.now() < deadline) ++counted;
+  }
+}
+
+}  // namespace
+
+WindowResult measure_throughput(sim::Simulation& sim, std::size_t n_clients, const OpFactory& op,
+                                sim::SimDuration warmup, sim::SimDuration window) {
+  const sim::SimTime window_start = sim.now() + warmup;
+  const sim::SimTime deadline = window_start + window;
+  std::vector<std::uint64_t> counts(n_clients, 0);
+
+  bool all_done = false;
+  sim.spawn([](sim::Simulation& s, const OpFactory& factory, std::size_t n,
+               sim::SimTime start, sim::SimTime end, std::vector<std::uint64_t>& out,
+               bool& done) -> sim::Task<> {
+    std::vector<sim::Task<>> loops;
+    loops.reserve(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      loops.push_back(client_loop(s, factory, c, start, end, out[c]));
+    }
+    co_await sim::when_all(s, std::move(loops));
+    done = true;
+  }(sim, op, n_clients, window_start, deadline, counts, all_done));
+
+  while (!all_done) {
+    if (!sim.step()) break;
+  }
+
+  WindowResult result;
+  for (const auto c : counts) result.ops += c;
+  result.seconds = sim::to_seconds(window);
+  return result;
+}
+
+}  // namespace pacon::harness

@@ -1,0 +1,70 @@
+// Plain-text reporting for benchmark binaries: each figure/table binary
+// prints the same rows/series the paper plots, plus the ratios the paper
+// quotes in prose.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pacon::harness {
+
+/// One table: a labelled x column plus one numeric column per series.
+class SeriesTable {
+ public:
+  SeriesTable(std::string title, std::string x_label, std::vector<std::string> series)
+      : title_(std::move(title)), x_label_(std::move(x_label)), series_(std::move(series)) {}
+
+  void add_row(std::string x, std::vector<double> values) {
+    rows_.emplace_back(std::move(x), std::move(values));
+  }
+
+  const std::vector<std::pair<std::string, std::vector<double>>>& rows() const { return rows_; }
+
+  void print(std::ostream& out = std::cout) const {
+    out << "\n== " << title_ << " ==\n";
+    out << std::left << std::setw(16) << x_label_;
+    for (const auto& s : series_) out << std::right << std::setw(16) << s;
+    out << '\n';
+    for (const auto& [x, values] : rows_) {
+      out << std::left << std::setw(16) << x;
+      for (const double v : values) {
+        out << std::right << std::setw(16) << format_value(v);
+      }
+      out << '\n';
+    }
+    out.flush();
+  }
+
+  static std::string format_value(double v) {
+    std::ostringstream s;
+    if (v >= 100) {
+      s << std::fixed << std::setprecision(0) << v;
+    } else {
+      s << std::fixed << std::setprecision(2) << v;
+    }
+    return s.str();
+  }
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> series_;
+  std::vector<std::pair<std::string, std::vector<double>>> rows_;
+};
+
+/// Banner every bench prints first: what it reproduces and what to expect.
+inline void print_banner(const std::string& id, const std::string& paper_claim) {
+  std::cout << "==========================================================\n"
+            << id << "\n"
+            << "Paper reference: " << paper_claim << "\n"
+            << "==========================================================\n";
+}
+
+inline void print_ratio(const std::string& label, double a, double b) {
+  std::cout << label << ": " << SeriesTable::format_value(b > 0 ? a / b : 0) << "x\n";
+}
+
+}  // namespace pacon::harness

@@ -1,0 +1,26 @@
+// Compact serialization of inode attributes for LSM storage.
+#pragma once
+
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "fs/types.h"
+
+namespace pacon::indexfs {
+
+/// Fixed-layout binary encoding (host endianness; never leaves the process).
+inline std::string encode_attr(const fs::InodeAttr& attr) {
+  std::string out(sizeof(fs::InodeAttr), '\0');
+  std::memcpy(out.data(), &attr, sizeof(fs::InodeAttr));
+  return out;
+}
+
+inline std::optional<fs::InodeAttr> decode_attr(const std::string& blob) {
+  if (blob.size() != sizeof(fs::InodeAttr)) return std::nullopt;
+  fs::InodeAttr attr;
+  std::memcpy(&attr, blob.data(), sizeof(fs::InodeAttr));
+  return attr;
+}
+
+}  // namespace pacon::indexfs

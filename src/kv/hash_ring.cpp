@@ -1,0 +1,42 @@
+#include "kv/hash_ring.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/random.h"
+
+namespace pacon::kv {
+
+std::uint64_t HashRing::point(net::NodeId node, std::uint32_t replica) {
+  // Mix node and replica through splitmix-style avalanche.
+  std::uint64_t x = (static_cast<std::uint64_t>(node.value) << 32) | replica;
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+void HashRing::add_node(net::NodeId node) {
+  if (std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end()) return;
+  nodes_.push_back(node);
+  for (std::uint32_t r = 0; r < vnodes_; ++r) ring_.emplace(point(node, r), node);
+}
+
+void HashRing::remove_node(net::NodeId node) {
+  std::erase(nodes_, node);
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == node ? ring_.erase(it) : std::next(it);
+  }
+}
+
+net::NodeId HashRing::node_for(std::string_view key) const {
+  assert(!ring_.empty());
+  const std::uint64_t h = sim::Rng::hash(key);
+  auto it = ring_.lower_bound(h);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+}  // namespace pacon::kv

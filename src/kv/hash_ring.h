@@ -1,0 +1,40 @@
+// Consistent-hash ring (the "DHT" of the paper's distributed cache).
+//
+// Keys map to nodes via the classic virtual-node construction: each node
+// contributes `vnodes` points on a 64-bit ring; a key is owned by the first
+// point clockwise from its hash. Adding or removing one node remaps only
+// ~1/N of the keyspace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "net/fabric.h"
+
+namespace pacon::kv {
+
+class HashRing {
+ public:
+  explicit HashRing(std::uint32_t vnodes = 64) : vnodes_(vnodes) {}
+
+  void add_node(net::NodeId node);
+  void remove_node(net::NodeId node);
+
+  bool empty() const { return ring_.empty(); }
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::vector<net::NodeId>& nodes() const { return nodes_; }
+
+  /// Owner of `key`. Requires a non-empty ring.
+  net::NodeId node_for(std::string_view key) const;
+
+ private:
+  static std::uint64_t point(net::NodeId node, std::uint32_t replica);
+
+  std::uint32_t vnodes_;
+  std::map<std::uint64_t, net::NodeId> ring_;
+  std::vector<net::NodeId> nodes_;
+};
+
+}  // namespace pacon::kv

@@ -1,0 +1,171 @@
+#include "kv/memcache.h"
+
+#include <cassert>
+
+namespace pacon::kv {
+
+MemCacheServer::MemCacheServer(sim::Simulation& sim, net::Fabric& fabric, net::NodeId node,
+                               KvConfig config)
+    : sim_(sim), node_(node), config_(config) {
+  net::RpcService<KvRequest, KvResponse>::Config rpc_cfg;
+  rpc_cfg.workers = config_.workers;
+  rpc_ = std::make_unique<net::RpcService<KvRequest, KvResponse>>(
+      sim, fabric, node,
+      [this](KvRequest req) -> sim::Task<KvResponse> {
+        const std::uint64_t kib = (req.value.size() + 1023) / 1024;
+        co_await sim_.delay(config_.op_service_time + kib * config_.per_kib_service_time);
+        co_return apply(req);
+      },
+      rpc_cfg);
+}
+
+KvResponse MemCacheServer::apply(const KvRequest& req) {
+  using Op = KvRequest::Op;
+  switch (req.op) {
+    case Op::get: {
+      auto it = items_.find(req.key);
+      if (it == items_.end()) return KvResponse{KvStatus::not_found, {}, 0, 0};
+      touch_lru(req.key, it->second);
+      return KvResponse{KvStatus::ok, it->second.value, it->second.cas, it->second.flags};
+    }
+    case Op::set:
+      return store(req, /*must_exist=*/false, /*must_not_exist=*/false, /*check_cas=*/false);
+    case Op::add:
+      return store(req, /*must_exist=*/false, /*must_not_exist=*/true, /*check_cas=*/false);
+    case Op::replace:
+      return store(req, /*must_exist=*/true, /*must_not_exist=*/false, /*check_cas=*/false);
+    case Op::cas:
+      return store(req, /*must_exist=*/true, /*must_not_exist=*/false, /*check_cas=*/true);
+    case Op::del: {
+      auto it = items_.find(req.key);
+      if (it == items_.end()) return KvResponse{KvStatus::not_found, {}, 0, 0};
+      erase_item(req.key);
+      return KvResponse{KvStatus::ok, {}, 0, 0};
+    }
+  }
+  return KvResponse{KvStatus::not_found, {}, 0, 0};
+}
+
+KvResponse MemCacheServer::store(const KvRequest& req, bool must_exist, bool must_not_exist,
+                                 bool check_cas) {
+  auto it = items_.find(req.key);
+  if (must_exist && it == items_.end()) return KvResponse{KvStatus::not_found, {}, 0, 0};
+  if (must_not_exist && it != items_.end()) return KvResponse{KvStatus::exists, {}, 0, 0};
+  if (check_cas && it->second.cas != req.cas) {
+    return KvResponse{KvStatus::cas_mismatch, {}, it->second.cas, it->second.flags};
+  }
+
+  const std::uint64_t new_size = item_footprint(req.key, req.value);
+  const std::uint64_t old_size = it == items_.end() ? 0 : item_footprint(req.key, it->second.value);
+  // Refuse before destroying the old value if eviction cannot make room.
+  if (bytes_used_ - old_size + new_size > config_.capacity_bytes && !config_.lru_eviction) {
+    return KvResponse{KvStatus::no_space, {}, 0, 0};
+  }
+  // Updates are erase + fresh insert: the old footprint is released first so
+  // LRU eviction can never pick the key being written as its own victim.
+  if (it != items_.end()) erase_item(req.key);
+  if (bytes_used_ + new_size > config_.capacity_bytes && !make_room(new_size)) {
+    return KvResponse{KvStatus::no_space, {}, 0, 0};
+  }
+
+  lru_.push_front(req.key);
+  Item item{req.value, next_cas_++, req.flags, lru_.begin()};
+  bytes_used_ += new_size;
+  it = items_.emplace(req.key, std::move(item)).first;
+  return KvResponse{KvStatus::ok, {}, it->second.cas, it->second.flags};
+}
+
+void MemCacheServer::touch_lru(const std::string& key, Item& item) {
+  lru_.erase(item.lru_pos);
+  lru_.push_front(key);
+  item.lru_pos = lru_.begin();
+}
+
+bool MemCacheServer::make_room(std::uint64_t need) {
+  if (!config_.lru_eviction) return false;
+  while (bytes_used_ + need > config_.capacity_bytes && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    erase_item(victim);
+    ++evictions_;
+  }
+  return bytes_used_ + need <= config_.capacity_bytes;
+}
+
+void MemCacheServer::erase_item(const std::string& key) {
+  auto it = items_.find(key);
+  assert(it != items_.end());
+  bytes_used_ -= item_footprint(key, it->second.value);
+  lru_.erase(it->second.lru_pos);
+  items_.erase(it);
+}
+
+std::vector<std::string> MemCacheServer::keys_with_prefix(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [key, item] : items_) {
+    if (key.starts_with(prefix)) out.push_back(key);
+  }
+  return out;
+}
+
+MemCacheCluster::MemCacheCluster(sim::Simulation& sim, net::Fabric& fabric, KvConfig config)
+    : sim_(sim), fabric_(fabric), config_(config) {}
+
+MemCacheServer& MemCacheCluster::add_server(net::NodeId node) {
+  servers_.push_back(std::make_unique<MemCacheServer>(sim_, fabric_, node, config_));
+  by_node_[node] = servers_.back().get();
+  ring_.add_node(node);
+  return *servers_.back();
+}
+
+void MemCacheCluster::remove_server(net::NodeId node) { ring_.remove_node(node); }
+
+MemCacheServer& MemCacheCluster::server_on(net::NodeId node) {
+  auto it = by_node_.find(node);
+  assert(it != by_node_.end());
+  return *it->second;
+}
+
+sim::Task<KvResponse> MemCacheCluster::route(net::NodeId from, KvRequest req) {
+  assert(!ring_.empty());
+  MemCacheServer& server = server_on(ring_.node_for(req.key));
+  co_return co_await server.call(from, std::move(req));
+}
+
+sim::Task<KvResponse> MemCacheCluster::get(net::NodeId from, std::string key) {
+  return route(from, KvRequest{KvRequest::Op::get, std::move(key), {}, 0, 0});
+}
+sim::Task<KvResponse> MemCacheCluster::set(net::NodeId from, std::string key, std::string value,
+                                           std::uint32_t flags) {
+  return route(from, KvRequest{KvRequest::Op::set, std::move(key), std::move(value), 0, flags});
+}
+sim::Task<KvResponse> MemCacheCluster::add(net::NodeId from, std::string key, std::string value,
+                                           std::uint32_t flags) {
+  return route(from, KvRequest{KvRequest::Op::add, std::move(key), std::move(value), 0, flags});
+}
+sim::Task<KvResponse> MemCacheCluster::replace(net::NodeId from, std::string key,
+                                               std::string value, std::uint32_t flags) {
+  return route(from,
+               KvRequest{KvRequest::Op::replace, std::move(key), std::move(value), 0, flags});
+}
+sim::Task<KvResponse> MemCacheCluster::del(net::NodeId from, std::string key) {
+  return route(from, KvRequest{KvRequest::Op::del, std::move(key), {}, 0, 0});
+}
+sim::Task<KvResponse> MemCacheCluster::cas(net::NodeId from, std::string key, std::string value,
+                                           std::uint64_t version, std::uint32_t flags) {
+  return route(from,
+               KvRequest{KvRequest::Op::cas, std::move(key), std::move(value), version, flags});
+}
+
+std::uint64_t MemCacheCluster::total_bytes_used() const {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s->bytes_used();
+  return total;
+}
+
+std::uint64_t MemCacheCluster::total_items() const {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s->item_count();
+  return total;
+}
+
+}  // namespace pacon::kv

@@ -1,0 +1,167 @@
+// In-memory KV cache server and cluster client (Memcached substitute).
+//
+// Implements the subset of Memcached semantics Pacon depends on:
+//   get / set / add / replace / del, versioned compare-and-swap (CAS),
+//   per-item flags, byte-accurate memory accounting, optional LRU eviction.
+// Every server is reachable over the simulated fabric through an RPC service
+// whose worker pool and service time model a real cache daemon.
+//
+// MemCacheCluster spreads keys over many servers with a consistent-hash ring
+// -- the "Memcached + DHT" construction of the paper (Section III.A).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kv/hash_ring.h"
+#include "net/fabric.h"
+#include "net/rpc.h"
+#include "sim/simulation.h"
+
+namespace pacon::kv {
+
+using namespace sim::literals;
+
+enum class KvStatus : std::uint8_t {
+  ok,
+  not_found,      // get/replace/del/cas on a missing key
+  exists,         // add on a present key
+  cas_mismatch,   // cas with a stale version
+  no_space,       // store full and eviction disabled
+};
+
+struct KvConfig {
+  /// Server-side service time per operation (hash lookup + bookkeeping).
+  sim::SimDuration op_service_time = 1'500_ns;
+  /// Additional service time per KiB of value moved.
+  sim::SimDuration per_kib_service_time = 200_ns;
+  /// Memory capacity in bytes (key + value + per-item overhead).
+  std::uint64_t capacity_bytes = 512ull << 20;
+  /// Per-item metadata overhead, mirroring memcached's item header.
+  std::uint64_t item_overhead_bytes = 56;
+  /// Evict least-recently-used items when full (memcached default). Pacon
+  /// turns this off and drives eviction itself (Section III.F).
+  bool lru_eviction = true;
+  /// RPC worker pool of the cache daemon.
+  std::size_t workers = 4;
+};
+
+struct KvRequest {
+  enum class Op : std::uint8_t { get, set, add, replace, del, cas } op = Op::get;
+  std::string key;
+  std::string value;
+  std::uint64_t cas = 0;
+  std::uint32_t flags = 0;
+};
+
+struct KvResponse {
+  KvStatus status = KvStatus::ok;
+  std::string value;
+  std::uint64_t cas = 0;
+  std::uint32_t flags = 0;
+};
+
+/// One cache daemon on one node.
+class MemCacheServer {
+ public:
+  MemCacheServer(sim::Simulation& sim, net::Fabric& fabric, net::NodeId node,
+                 KvConfig config = {});
+  MemCacheServer(const MemCacheServer&) = delete;
+  MemCacheServer& operator=(const MemCacheServer&) = delete;
+
+  net::NodeId node() const { return node_; }
+
+  /// RPC entry point used by clients.
+  sim::Task<KvResponse> call(net::NodeId from, KvRequest req) {
+    return rpc_->call(from, std::move(req));
+  }
+
+  /// Direct (local, zero-cost) application of a request; used by the RPC
+  /// handler and by tests that probe semantics without wire time.
+  KvResponse apply(const KvRequest& req);
+
+  std::uint64_t bytes_used() const { return bytes_used_; }
+  std::uint64_t item_count() const { return items_.size(); }
+  std::uint64_t evictions() const { return evictions_; }
+  const KvConfig& config() const { return config_; }
+
+  /// Enumerates keys with a given prefix (management/testing aid; the real
+  /// daemon lacks this, Pacon never calls it on the data path).
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+ private:
+  struct Item {
+    std::string value;
+    std::uint64_t cas = 0;
+    std::uint32_t flags = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  std::uint64_t item_footprint(const std::string& key, const std::string& value) const {
+    return key.size() + value.size() + config_.item_overhead_bytes;
+  }
+  void touch_lru(const std::string& key, Item& item);
+  bool make_room(std::uint64_t need);
+  void erase_item(const std::string& key);
+  KvResponse store(const KvRequest& req, bool must_exist, bool must_not_exist,
+                   bool check_cas);
+
+  sim::Simulation& sim_;
+  net::NodeId node_;
+  KvConfig config_;
+  std::unordered_map<std::string, Item> items_;
+  std::list<std::string> lru_;  // front = most recent
+  std::uint64_t bytes_used_ = 0;
+  std::uint64_t next_cas_ = 1;
+  std::uint64_t evictions_ = 0;
+  std::unique_ptr<net::RpcService<KvRequest, KvResponse>> rpc_;
+};
+
+/// Client view of a set of cache servers behind a consistent-hash ring.
+class MemCacheCluster {
+ public:
+  MemCacheCluster(sim::Simulation& sim, net::Fabric& fabric, KvConfig config = {});
+
+  /// Starts a server on `node` and adds it to the ring.
+  MemCacheServer& add_server(net::NodeId node);
+
+  /// Takes `node` out of the ring (failure handling). Its keys remap to the
+  /// surviving servers; the server object itself is kept (it may be dead).
+  void remove_server(net::NodeId node);
+
+  std::size_t server_count() const { return servers_.size(); }
+  const HashRing& ring() const { return ring_; }
+  MemCacheServer& server_on(net::NodeId node);
+
+  /// Cluster ops, issued from `from`; routed by key hash.
+  sim::Task<KvResponse> get(net::NodeId from, std::string key);
+  sim::Task<KvResponse> set(net::NodeId from, std::string key, std::string value,
+                            std::uint32_t flags = 0);
+  sim::Task<KvResponse> add(net::NodeId from, std::string key, std::string value,
+                            std::uint32_t flags = 0);
+  sim::Task<KvResponse> replace(net::NodeId from, std::string key, std::string value,
+                                std::uint32_t flags = 0);
+  sim::Task<KvResponse> del(net::NodeId from, std::string key);
+  sim::Task<KvResponse> cas(net::NodeId from, std::string key, std::string value,
+                            std::uint64_t version, std::uint32_t flags = 0);
+
+  std::uint64_t total_bytes_used() const;
+  std::uint64_t total_items() const;
+
+ private:
+  sim::Task<KvResponse> route(net::NodeId from, KvRequest req);
+
+  sim::Simulation& sim_;
+  net::Fabric& fabric_;
+  KvConfig config_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<MemCacheServer>> servers_;
+  std::unordered_map<net::NodeId, MemCacheServer*> by_node_;
+};
+
+}  // namespace pacon::kv

@@ -1,0 +1,90 @@
+// Simulated cluster interconnect.
+//
+// The Fabric charges wire time for messages between nodes: a fixed one-way
+// software+switch latency, a size-proportional serialization term, and
+// multiplicative jitter. It also tracks node liveness for failure-injection
+// experiments. It does not buffer or deliver messages itself; RPC and
+// pub/sub layers ask it how long a given hop takes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace pacon::net {
+
+using namespace sim::literals;  // _ns/_us/_ms literals in this namespace
+
+/// Identifies a simulated machine in the cluster.
+struct NodeId {
+  static constexpr std::uint32_t kInvalid = UINT32_MAX;
+  std::uint32_t value = kInvalid;
+
+  constexpr bool valid() const { return value != kInvalid; }
+  friend constexpr bool operator==(NodeId, NodeId) = default;
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+};
+
+struct FabricConfig {
+  /// Same-node (loopback / shared-memory) one-way latency.
+  sim::SimDuration loopback_one_way = 500_ns;
+  /// Cross-node one-way latency: kernel+NIC+switch for a small message.
+  /// ~25us one way gives a ~50us small-message RTT, typical of an HPC
+  /// interconnect driven through a sockets-style software stack.
+  sim::SimDuration remote_one_way = 25'000_ns;
+  /// Serialization bandwidth for the size-proportional term.
+  double bandwidth_bytes_per_sec = 5.0e9;
+  /// Multiplicative jitter: actual = nominal * (1 + U(0, jitter_frac)).
+  double jitter_frac = 0.15;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulation& sim, FabricConfig config)
+      : sim_(sim), config_(config), rng_(sim.rng().fork("fabric")) {}
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  const FabricConfig& config() const { return config_; }
+
+  /// One-way wire time for a `bytes`-sized message from `from` to `to`.
+  sim::SimDuration one_way(NodeId from, NodeId to, std::size_t bytes) {
+    const sim::SimDuration base =
+        from == to ? config_.loopback_one_way : config_.remote_one_way;
+    const auto transfer = static_cast<sim::SimDuration>(
+        static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec * 1e9);
+    const double jitter = 1.0 + rng_.uniform01() * config_.jitter_frac;
+    return static_cast<sim::SimDuration>(static_cast<double>(base + transfer) * jitter);
+  }
+
+  /// Failure injection: a down node can neither send nor receive.
+  void set_node_down(NodeId node, bool down) {
+    if (down) {
+      down_.insert(node.value);
+    } else {
+      down_.erase(node.value);
+    }
+  }
+  bool node_up(NodeId node) const { return !down_.contains(node.value); }
+  bool reachable(NodeId from, NodeId to) const { return node_up(from) && node_up(to); }
+
+ private:
+  sim::Simulation& sim_;
+  FabricConfig config_;
+  sim::Rng rng_;
+  std::unordered_set<std::uint32_t> down_;
+};
+
+}  // namespace pacon::net
+
+template <>
+struct std::hash<pacon::net::NodeId> {
+  std::size_t operator()(pacon::net::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,105 @@
+// Topic-based publish/subscribe bus over the simulated fabric.
+//
+// Stands in for the ZeroMQ commit queue of the Pacon prototype. Guarantees
+// the property the commit protocol depends on: per-(publisher, subscription)
+// FIFO delivery -- messages from one publisher reach one subscriber in
+// publish order even though per-message wire latency jitters. Achieved by
+// never delivering a message earlier than its predecessor on the same
+// (publisher, subscription) pair.
+//
+// Subscriptions are unbounded: the commit queue absorbs bursts by design
+// (that is where Pacon's write throughput comes from); depth is observable
+// for backpressure policies built on top.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/fabric.h"
+#include "sim/channel.h"
+#include "sim/simulation.h"
+
+namespace pacon::net {
+
+template <typename M>
+class PubSubBus {
+ public:
+  class Subscription {
+   public:
+    Subscription(sim::Simulation& sim, NodeId node, std::uint64_t id)
+        : node_(node), id_(id), inbox_(sim) {}
+
+    NodeId node() const { return node_; }
+    std::size_t depth() const { return inbox_.size(); }
+
+    /// Awaitable next message; nullopt after unsubscribe.
+    auto recv() { return inbox_.recv(); }
+    std::optional<M> try_recv() { return inbox_.try_recv(); }
+
+   private:
+    friend class PubSubBus;
+    NodeId node_;
+    std::uint64_t id_;
+    sim::Channel<M> inbox_;
+    // Earliest admissible delivery time per publisher, preserving FIFO.
+    std::map<std::uint32_t, sim::SimTime> last_delivery_;
+  };
+
+  PubSubBus(sim::Simulation& sim, Fabric& fabric) : sim_(sim), fabric_(fabric) {}
+  PubSubBus(const PubSubBus&) = delete;
+  PubSubBus& operator=(const PubSubBus&) = delete;
+
+  /// Creates a subscription for `topic` hosted on `node`.
+  std::shared_ptr<Subscription> subscribe(const std::string& topic, NodeId node) {
+    auto sub = std::make_shared<Subscription>(sim_, node, next_id_++);
+    topics_[topic].push_back(sub);
+    return sub;
+  }
+
+  /// Removes a subscription; its channel closes once drained.
+  void unsubscribe(const std::string& topic, const std::shared_ptr<Subscription>& sub) {
+    auto it = topics_.find(topic);
+    if (it == topics_.end()) return;
+    auto& subs = it->second;
+    std::erase(subs, sub);
+    sub->inbox_.close();
+  }
+
+  /// Publishes `msg` from `from` to every subscription of `topic`.
+  /// Returns the number of subscriptions addressed. Local cost to the caller
+  /// is zero; wire time is charged on the delivery path.
+  std::size_t publish(NodeId from, const std::string& topic, const M& msg,
+                      std::size_t bytes = 256) {
+    auto it = topics_.find(topic);
+    if (it == topics_.end()) return 0;
+    std::size_t delivered = 0;
+    for (auto& sub : it->second) {
+      if (!fabric_.reachable(from, sub->node())) continue;
+      const sim::SimTime earliest = sim_.now() + fabric_.one_way(from, sub->node(), bytes);
+      sim::SimTime& last = sub->last_delivery_[from.value];
+      const sim::SimTime at = std::max(earliest, last + 1);
+      last = at;
+      sim_.schedule_callback(at, [sub, msg] { sub->inbox_.try_send(M(msg)); });
+      ++delivered;
+    }
+    return delivered;
+  }
+
+  std::size_t subscriber_count(const std::string& topic) const {
+    auto it = topics_.find(topic);
+    return it == topics_.end() ? 0 : it->second.size();
+  }
+
+ private:
+  sim::Simulation& sim_;
+  Fabric& fabric_;
+  std::uint64_t next_id_ = 0;
+  std::map<std::string, std::vector<std::shared_ptr<Subscription>>> topics_;
+};
+
+}  // namespace pacon::net

@@ -1,0 +1,136 @@
+// Typed request/response RPC over the simulated fabric.
+//
+// An RpcService<Req, Resp> lives on one node and runs a bounded pool of
+// worker coroutines over a bounded inbox. Both bounds matter: the pool
+// models server CPU concurrency and the inbox models the accept queue, so an
+// overloaded server exhibits queueing delay and, eventually, sender
+// backpressure -- the saturation behaviour central to the paper's
+// scalability experiments.
+//
+// Failures: calls to/from a down node throw RpcError. Handler exceptions
+// propagate to the caller.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "net/fabric.h"
+#include "sim/channel.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+
+namespace pacon::net {
+
+class RpcError : public std::runtime_error {
+ public:
+  enum class Code { unreachable, shutdown };
+
+  RpcError(Code code, const std::string& what) : std::runtime_error(what), code_(code) {}
+  Code code() const { return code_; }
+
+ private:
+  Code code_;
+};
+
+template <typename Req, typename Resp>
+class RpcService {
+ public:
+  using Handler = std::function<sim::Task<Resp>(Req)>;
+
+  struct Config {
+    /// Concurrent worker coroutines (server CPU/thread parallelism).
+    std::size_t workers = 4;
+    /// Accept-queue bound; senders block (not fail) when it is full.
+    std::size_t queue_capacity = 1024;
+    /// Nominal request/response wire sizes used for the bandwidth term.
+    std::size_t request_bytes = 256;
+    std::size_t response_bytes = 256;
+  };
+
+  RpcService(sim::Simulation& sim, Fabric& fabric, NodeId self, Handler handler,
+             Config config = {})
+      : sim_(sim),
+        fabric_(fabric),
+        self_(self),
+        handler_(std::move(handler)),
+        config_(config),
+        inbox_(sim, config.queue_capacity) {
+    for (std::size_t i = 0; i < config_.workers; ++i) {
+      sim_.spawn(worker_loop());
+    }
+  }
+  RpcService(const RpcService&) = delete;
+  RpcService& operator=(const RpcService&) = delete;
+
+  NodeId node() const { return self_; }
+
+  /// Stops accepting new requests; queued requests still complete.
+  void shutdown() { inbox_.close(); }
+
+  /// Issues a call from `from`; completes when the response lands back.
+  sim::Task<Resp> call(NodeId from, Req req) {
+    if (!fabric_.reachable(from, self_)) {
+      throw RpcError(RpcError::Code::unreachable, "rpc: destination unreachable");
+    }
+    co_await sim_.delay(fabric_.one_way(from, self_, config_.request_bytes));
+    if (!fabric_.node_up(self_)) {
+      throw RpcError(RpcError::Code::unreachable, "rpc: server died in flight");
+    }
+    Envelope env{std::move(req), std::make_shared<sim::OneShot<Outcome>>(sim_)};
+    auto result_slot = env.result;
+    if (!co_await inbox_.send(std::move(env))) {
+      throw RpcError(RpcError::Code::shutdown, "rpc: service shut down");
+    }
+    Outcome outcome = co_await result_slot->take();
+    co_await sim_.delay(fabric_.one_way(self_, from, config_.response_bytes));
+    if (!fabric_.node_up(from)) {
+      throw RpcError(RpcError::Code::unreachable, "rpc: caller died awaiting response");
+    }
+    if (auto* err = std::get_if<std::exception_ptr>(&outcome)) {
+      std::rethrow_exception(*err);
+    }
+    co_return std::move(std::get<Resp>(outcome));
+  }
+
+  std::uint64_t requests_served() const { return served_; }
+
+ private:
+  using Outcome = std::variant<Resp, std::exception_ptr>;
+
+  struct Envelope {
+    Req request;
+    std::shared_ptr<sim::OneShot<Outcome>> result;
+  };
+
+  sim::Task<> worker_loop() {
+    for (;;) {
+      auto env = co_await inbox_.recv();
+      if (!env) break;  // shutdown
+      Outcome outcome{std::exception_ptr{}};
+      try {
+        outcome = co_await handler_(std::move(env->request));
+      } catch (...) {
+        outcome = std::current_exception();
+      }
+      ++served_;
+      env->result->set(std::move(outcome));
+    }
+  }
+
+  sim::Simulation& sim_;
+  Fabric& fabric_;
+  NodeId self_;
+  Handler handler_;
+  Config config_;
+  sim::Channel<Envelope> inbox_;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace pacon::net

@@ -1,0 +1,76 @@
+// Structured-concurrency combinators over Task<>.
+//
+// Tasks are lazy; awaiting them sequentially would serialize. when_all()
+// starts every child at the current virtual instant and resumes the caller
+// once all have finished, propagating the first exception (after all
+// children completed, so no frame is abandoned mid-flight).
+#pragma once
+
+#include <exception>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace pacon::sim {
+
+namespace detail {
+
+inline Task<> run_child(Task<> t, WaitGroup& wg, std::exception_ptr& first_error) {
+  try {
+    co_await t;
+  } catch (...) {
+    if (!first_error) first_error = std::current_exception();
+  }
+  wg.done();
+}
+
+template <typename T>
+Task<> run_child_value(Task<T> t, WaitGroup& wg, std::exception_ptr& first_error, T& slot) {
+  try {
+    slot = co_await t;
+  } catch (...) {
+    if (!first_error) first_error = std::current_exception();
+  }
+  wg.done();
+}
+
+}  // namespace detail
+
+/// Runs all tasks concurrently; completes when every one has completed.
+inline Task<> when_all(Simulation& sim, std::vector<Task<>> tasks) {
+  WaitGroup wg(sim);
+  std::exception_ptr first_error;
+  wg.add(tasks.size());
+  std::vector<Task<>> wrappers;
+  wrappers.reserve(tasks.size());
+  for (auto& t : tasks) {
+    wrappers.push_back(detail::run_child(std::move(t), wg, first_error));
+    sim.schedule_now(wrappers.back().raw_handle());
+  }
+  co_await wg.wait();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Runs all tasks concurrently and collects their results (index-aligned).
+/// T must be default-constructible.
+template <typename T>
+Task<std::vector<T>> when_all_values(Simulation& sim, std::vector<Task<T>> tasks) {
+  WaitGroup wg(sim);
+  std::exception_ptr first_error;
+  std::vector<T> results(tasks.size());
+  wg.add(tasks.size());
+  std::vector<Task<>> wrappers;
+  wrappers.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    wrappers.push_back(
+        detail::run_child_value(std::move(tasks[i]), wg, first_error, results[i]));
+    sim.schedule_now(wrappers.back().raw_handle());
+  }
+  co_await wg.wait();
+  if (first_error) std::rethrow_exception(first_error);
+  co_return results;
+}
+
+}  // namespace pacon::sim

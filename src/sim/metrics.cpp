@@ -1,0 +1,87 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace pacon::sim {
+
+int Histogram::bucket_index(std::uint64_t value) {
+  // Major bucket = floor(log2(value / kMinorBuckets)) + 1 for large values;
+  // values below kMinorBuckets map 1:1 into major bucket 0.
+  if (value < kMinorBuckets) return static_cast<int>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int major = msb - 4;  // log2(kMinorBuckets) == 5; msb >= 5 here
+  const int minor = static_cast<int>((value >> (major - 1)) & (kMinorBuckets - 1));
+  const int index = major * kMinorBuckets + minor;
+  return std::min(index, kMajorBuckets * kMinorBuckets - 1);
+}
+
+std::uint64_t Histogram::bucket_floor(int index) {
+  const int major = index / kMinorBuckets;
+  const int minor = index % kMinorBuckets;
+  if (major == 0) return static_cast<std::uint64_t>(minor);
+  return (static_cast<std::uint64_t>(kMinorBuckets) << (major - 1)) +
+         (static_cast<std::uint64_t>(minor) << (major - 1));
+}
+
+void Histogram::record(std::uint64_t value) {
+  ++buckets_[bucket_index(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (int i = 0; i < kMajorBuckets * kMinorBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::reset() { *this = Histogram{}; }
+
+std::uint64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kMajorBuckets * kMinorBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > target) return bucket_floor(i);
+  }
+  return max_;
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+std::string MetricRegistry::dump() const {
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << name << " = " << c->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << name << ": count=" << h->count() << " mean=" << h->mean()
+        << " p50=" << h->percentile(0.50) << " p99=" << h->percentile(0.99)
+        << " max=" << h->max() << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace pacon::sim

@@ -1,0 +1,76 @@
+// Lightweight metrics for simulated components.
+//
+// Counters count events; Histograms record latency-like values in
+// log-bucketed bins (HDR-style: 2x range per major bucket, 32 linear minor
+// buckets, ~3% relative error) so percentiles over millions of samples are
+// O(1) memory. A MetricRegistry names and owns them for end-of-run dumps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace pacon::sim {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Histogram {
+ public:
+  static constexpr int kMajorBuckets = 44;  // covers [0, 2^43) ~ 2.4 simulated hours in ns
+  static constexpr int kMinorBuckets = 32;
+
+  void record(std::uint64_t value);
+  void merge(const Histogram& other);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0; }
+
+  /// Value at quantile q in [0, 1], accurate to the bucket resolution.
+  std::uint64_t percentile(double q) const;
+
+ private:
+  static int bucket_index(std::uint64_t value);
+  static std::uint64_t bucket_floor(int index);
+
+  std::uint64_t buckets_[kMajorBuckets * kMinorBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+/// Owns named metrics. Lookup creates on first use so call sites stay terse.
+class MetricRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  const std::map<std::string, std::unique_ptr<Counter>, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  /// Multi-line human-readable dump of all metrics.
+  std::string dump() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace pacon::sim

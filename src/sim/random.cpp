@@ -1,0 +1,134 @@
+#include "sim/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pacon::sim {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Rng Rng::fork(std::uint64_t salt) const {
+  // Mix the parent's state words with the salt through splitmix64 so that
+  // sibling streams are decorrelated even for small consecutive salts.
+  std::uint64_t s = state_[0] ^ rotl(state_[1], 17) ^ rotl(state_[2], 31) ^ state_[3];
+  s ^= salt * 0xD1B54A32D192ED03ull;
+  return Rng(splitmix64(s));
+}
+
+Rng Rng::fork(std::string_view name) const { return fork(hash(name)); }
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  assert(bound != 0);
+  // Lemire's nearly-divisionless bounded generation with rejection to remove
+  // modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Rng::uniform_in(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return next_u64();  // full 64-bit range
+  return lo + uniform(span);
+}
+
+double Rng::uniform01() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  double u = uniform01();
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  return -mean * std::log1p(-u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = uniform01();
+  if (u1 <= 0.0) u1 = std::nextafter(0.0, 1.0);
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(6.28318530717958647692 * u2);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::uint64_t Rng::hash(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+  assert(n >= 1);
+  assert(theta >= 0.0 && theta < 1.0);
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_inv(h(2.5) - std::pow(2.0, -theta));
+}
+
+double ZipfGenerator::h(double x) const {
+  // Integral of x^-theta: x^(1-theta) / (1-theta).
+  return std::pow(x, 1.0 - theta_) / (1.0 - theta_);
+}
+
+double ZipfGenerator::h_inv(double x) const {
+  return std::pow((1.0 - theta_) * x, 1.0 / (1.0 - theta_));
+}
+
+std::uint64_t ZipfGenerator::next(Rng& rng) {
+  if (n_ == 1) return 0;
+  for (;;) {
+    const double u = h_n_ + rng.uniform01() * (h_x1_ - h_n_);
+    const double x = h_inv(u);
+    const auto k = static_cast<std::uint64_t>(x + 0.5);
+    const double k_clamped = std::max<double>(1.0, static_cast<double>(k));
+    if (k_clamped - x <= s_) {
+      return std::min<std::uint64_t>(n_, std::max<std::uint64_t>(1, k)) - 1;
+    }
+    if (u >= h(k_clamped + 0.5) - std::pow(k_clamped, -theta_)) {
+      return std::min<std::uint64_t>(n_, std::max<std::uint64_t>(1, k)) - 1;
+    }
+  }
+}
+
+}  // namespace pacon::sim

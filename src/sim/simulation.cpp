@@ -1,0 +1,67 @@
+#include "sim/simulation.h"
+
+namespace pacon::sim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+Simulation::~Simulation() = default;
+
+void Simulation::spawn_at(SimTime at, Task<> process) {
+  assert(at >= now_);
+  assert(process.valid());
+  roots_.push_back(std::move(process));
+  // The kernel retains ownership: completed frames park at their final
+  // suspension point and frames still blocked on channels at teardown are
+  // both reclaimed by the Task destructors when the Simulation dies.
+  schedule(at, roots_.back().raw_handle());
+}
+
+void Simulation::schedule(SimTime at, std::coroutine_handle<> h) {
+  assert(at >= now_);
+  assert(h);
+  queue_.push(Event{at, next_seq_++, h, nullptr});
+}
+
+void Simulation::schedule_callback(SimTime at, std::function<void()> fn) {
+  assert(at >= now_);
+  assert(fn);
+  queue_.push(Event{at, next_seq_++, nullptr, std::move(fn)});
+}
+
+void Simulation::dispatch(Event& ev) {
+  now_ = ev.at;
+  ++events_processed_;
+  if (ev.handle) {
+    ev.handle.resume();
+  } else {
+    ev.callback();
+  }
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  dispatch(ev);
+  return true;
+}
+
+void Simulation::run() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    dispatch(ev);
+  }
+}
+
+bool Simulation::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    dispatch(ev);
+  }
+  if (now_ < deadline) now_ = deadline;
+  return !queue_.empty();
+}
+
+}  // namespace pacon::sim

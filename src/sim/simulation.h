@@ -1,0 +1,175 @@
+// Discrete-event simulation kernel.
+//
+// The kernel owns a virtual clock and a priority queue of pending events.
+// Simulated processes are Task<> coroutines spawned onto the kernel; they
+// advance virtual time by awaiting `sim.delay(...)` and communicate through
+// the primitives in channel.h / sync.h. Execution is single-threaded and,
+// given a fixed seed, fully deterministic.
+//
+// Events at equal timestamps run in FIFO order of scheduling (a strictly
+// monotone sequence number breaks ties), which keeps runs reproducible.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/random.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace pacon::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1);
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+  ~Simulation();
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Root RNG for this run; components should fork() their own streams.
+  Rng& rng() { return rng_; }
+
+  /// Metric registry shared by all components of this run.
+  MetricRegistry& metrics() { return metrics_; }
+
+  /// Starts a root process at the current virtual time. The kernel keeps the
+  /// coroutine frame alive until the Simulation is destroyed.
+  void spawn(Task<> process) { spawn_at(now_, std::move(process)); }
+
+  /// Starts a root process at an absolute virtual time (>= now).
+  void spawn_at(SimTime at, Task<> process);
+
+  /// Resumes `h` at absolute virtual time `at` (>= now).
+  void schedule(SimTime at, std::coroutine_handle<> h);
+
+  /// Resumes `h` at the current virtual time, after already-queued events.
+  void schedule_now(std::coroutine_handle<> h) { schedule(now_, h); }
+
+  /// Runs `fn` at absolute virtual time `at` (>= now).
+  void schedule_callback(SimTime at, std::function<void()> fn);
+
+  /// Awaitable that suspends the caller for `d` of virtual time.
+  /// A zero delay still goes through the event queue (fair yield).
+  auto delay(SimDuration d) {
+    struct Awaiter {
+      Simulation& sim;
+      SimDuration dur;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const { sim.schedule(sim.now_ + dur, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  /// Awaitable that reschedules the caller behind already-queued events.
+  auto yield() { return delay(0); }
+
+  /// Processes events until the queue is empty. Unsuitable when immortal
+  /// background processes (periodic timers) are live -- prefer run_until or
+  /// the step loop in run_task.
+  void run();
+
+  /// Dispatches exactly one event; returns false when the queue was empty.
+  bool step();
+
+  /// Processes events with timestamp <= `deadline`. Returns true if events
+  /// remain queued afterwards. Advances the clock to `deadline` if the run
+  /// drained early, so subsequent spawns start no earlier than `deadline`.
+  bool run_until(SimTime deadline);
+
+  /// Convenience: run_until(now() + d).
+  bool run_for(SimDuration d) { return run_until(now_ + d); }
+
+  /// Total number of events processed so far (diagnostics).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;       // exactly one of handle/callback set
+    std::function<void()> callback;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Event& ev);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<Task<>> roots_;
+  Rng rng_;
+  MetricRegistry metrics_;
+};
+
+namespace detail {
+
+template <typename T>
+Task<> capture_result(Task<T> t, std::optional<T>& out, std::exception_ptr& err) {
+  try {
+    out.emplace(co_await t);
+  } catch (...) {
+    err = std::current_exception();
+  }
+}
+
+inline Task<> capture_void(Task<> t, bool& done, std::exception_ptr& err) {
+  try {
+    co_await t;
+    done = true;
+  } catch (...) {
+    err = std::current_exception();
+  }
+}
+
+}  // namespace detail
+
+/// Runs a task to completion, stepping the event loop only as long as the
+/// task is unfinished (immortal background processes cannot wedge it), and
+/// returns its result. Throws std::logic_error if the queue drains while the
+/// task is still blocked (a genuine deadlock in the scenario under test).
+template <typename T>
+T run_task(Simulation& sim, Task<T> t) {
+  std::optional<T> out;
+  std::exception_ptr err;
+  sim.spawn(detail::capture_result(std::move(t), out, err));
+  while (!out.has_value() && !err) {
+    if (!sim.step()) break;
+  }
+  if (err) std::rethrow_exception(err);
+  if (!out.has_value()) {
+    throw std::logic_error("run_task: task blocked forever (event queue drained)");
+  }
+  return std::move(*out);
+}
+
+inline void run_task(Simulation& sim, Task<> t) {
+  bool done = false;
+  std::exception_ptr err;
+  sim.spawn(detail::capture_void(std::move(t), done, err));
+  while (!done && !err) {
+    if (!sim.step()) break;
+  }
+  if (err) std::rethrow_exception(err);
+  if (!done) {
+    throw std::logic_error("run_task: task blocked forever (event queue drained)");
+  }
+}
+
+}  // namespace pacon::sim

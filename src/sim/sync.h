@@ -1,0 +1,272 @@
+// Awaitable synchronization primitives for simulated processes.
+//
+// All primitives are single-threaded (kernel-scheduled) and wake waiters
+// through the event queue in FIFO order, so behaviour is deterministic.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/simulation.h"
+
+namespace pacon::sim {
+
+/// Single-assignment value slot: one producer calls set(), any number of
+/// consumers await get() (each receives a copy; T must then be copyable, or
+/// use exactly one consumer with take()).
+template <typename T>
+class OneShot {
+ public:
+  explicit OneShot(Simulation& sim) : sim_(sim) {}
+  OneShot(const OneShot&) = delete;
+  OneShot& operator=(const OneShot&) = delete;
+
+  bool ready() const { return value_.has_value(); }
+
+  void set(T value) {
+    assert(!value_.has_value() && "OneShot::set called twice");
+    value_.emplace(std::move(value));
+    for (auto h : waiters_) sim_.schedule_now(h);
+    waiters_.clear();
+  }
+
+  /// Awaitable returning a reference-copied value.
+  auto get() {
+    struct Awaiter {
+      OneShot& slot;
+      bool await_ready() const { return slot.value_.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) { slot.waiters_.push_back(h); }
+      T await_resume() const { return *slot.value_; }
+    };
+    return Awaiter{*this};
+  }
+
+  /// Awaitable that moves the value out; valid for exactly one consumer.
+  auto take() {
+    struct Awaiter {
+      OneShot& slot;
+      bool await_ready() const { return slot.value_.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) { slot.waiters_.push_back(h); }
+      T await_resume() const { return std::move(*slot.value_); }
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulation& sim_;
+  std::optional<T> value_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Manually-reset gate. Processes await wait() until somebody open()s it.
+class Gate {
+ public:
+  explicit Gate(Simulation& sim) : sim_(sim) {}
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  bool is_open() const { return open_; }
+
+  void open() {
+    open_ = true;
+    for (auto h : waiters_) sim_.schedule_now(h);
+    waiters_.clear();
+  }
+
+  void reset() { open_ = false; }
+
+  auto wait() {
+    struct Awaiter {
+      Gate& gate;
+      bool await_ready() const { return gate.open_; }
+      void await_suspend(std::coroutine_handle<> h) { gate.waiters_.push_back(h); }
+      void await_resume() const {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulation& sim_;
+  bool open_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// FIFO-fair counting semaphore.
+class Semaphore {
+ public:
+  Semaphore(Simulation& sim, std::size_t permits) : sim_(sim), permits_(permits) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  std::size_t available() const { return permits_; }
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore& sem;
+      bool await_ready() {
+        if (sem.permits_ == 0) return false;
+        --sem.permits_;
+        return true;
+      }
+      void await_suspend(std::coroutine_handle<> h) { sem.waiters_.push_back(h); }
+      void await_resume() const {}
+    };
+    return Awaiter{*this};
+  }
+
+  void release() {
+    if (!waiters_.empty()) {
+      // Hand the permit directly to the longest waiter (no barging).
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_.schedule_now(h);
+      return;
+    }
+    ++permits_;
+  }
+
+ private:
+  Simulation& sim_;
+  std::size_t permits_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// FIFO-fair mutex, a binary special case kept separate for clarity.
+class Mutex {
+ public:
+  explicit Mutex(Simulation& sim) : sim_(sim) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  bool locked() const { return locked_; }
+
+  auto lock() {
+    struct Awaiter {
+      Mutex& mu;
+      bool await_ready() {
+        if (mu.locked_) return false;
+        mu.locked_ = true;
+        return true;
+      }
+      void await_suspend(std::coroutine_handle<> h) { mu.waiters_.push_back(h); }
+      void await_resume() const {}
+    };
+    return Awaiter{*this};
+  }
+
+  void unlock() {
+    assert(locked_);
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_.schedule_now(h);  // lock ownership transfers to the waiter
+      return;
+    }
+    locked_ = false;
+  }
+
+  /// RAII guard usable as: `auto g = co_await mu.scoped_lock();`
+  class [[nodiscard]] Guard {
+   public:
+    explicit Guard(Mutex& mu) : mu_(&mu) {}
+    Guard(Guard&& other) noexcept : mu_(std::exchange(other.mu_, nullptr)) {}
+    Guard& operator=(Guard&&) = delete;
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() {
+      if (mu_) mu_->unlock();
+    }
+
+   private:
+    Mutex* mu_;
+  };
+
+  Task<Guard> scoped_lock() {
+    co_await lock();
+    co_return Guard(*this);
+  }
+
+ private:
+  Simulation& sim_;
+  bool locked_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Go-style wait group: add() work, done() it, await wait() for zero.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Simulation& sim) : sim_(sim) {}
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+  void add(std::size_t n = 1) { pending_ += n; }
+
+  void done() {
+    assert(pending_ > 0);
+    if (--pending_ == 0) {
+      for (auto h : waiters_) sim_.schedule_now(h);
+      waiters_.clear();
+    }
+  }
+
+  std::size_t pending() const { return pending_; }
+
+  auto wait() {
+    struct Awaiter {
+      WaitGroup& wg;
+      bool await_ready() const { return wg.pending_ == 0; }
+      void await_suspend(std::coroutine_handle<> h) { wg.waiters_.push_back(h); }
+      void await_resume() const {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulation& sim_;
+  std::size_t pending_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Reusable rendezvous barrier for a fixed party count.
+class Barrier {
+ public:
+  Barrier(Simulation& sim, std::size_t parties) : sim_(sim), parties_(parties) {
+    assert(parties_ > 0);
+  }
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  auto arrive_and_wait() {
+    struct Awaiter {
+      Barrier& b;
+      bool await_ready() {
+        if (b.arrived_ + 1 == b.parties_) {
+          // Last arriver releases everybody and passes through.
+          b.arrived_ = 0;
+          for (auto h : b.waiters_) b.sim_.schedule_now(h);
+          b.waiters_.clear();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ++b.arrived_;
+        b.waiters_.push_back(h);
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulation& sim_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace pacon::sim

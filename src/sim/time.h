@@ -1,0 +1,38 @@
+// Virtual-time vocabulary for the discrete-event simulation.
+//
+// All simulated clocks count nanoseconds from the start of the run in a
+// 64-bit unsigned integer, which gives ~584 years of range -- far beyond any
+// experiment in this repository.
+#pragma once
+
+#include <cstdint>
+
+namespace pacon::sim {
+
+/// A point in simulated time, in nanoseconds since the simulation epoch.
+using SimTime = std::uint64_t;
+
+/// A span of simulated time, in nanoseconds.
+using SimDuration = std::uint64_t;
+
+inline namespace literals {
+
+constexpr SimDuration operator""_ns(unsigned long long v) { return v; }
+constexpr SimDuration operator""_us(unsigned long long v) { return v * 1'000ull; }
+constexpr SimDuration operator""_ms(unsigned long long v) { return v * 1'000'000ull; }
+constexpr SimDuration operator""_s(unsigned long long v) { return v * 1'000'000'000ull; }
+
+}  // namespace literals
+
+/// Converts a simulated duration to fractional seconds (for reporting).
+constexpr double to_seconds(SimDuration d) { return static_cast<double>(d) * 1e-9; }
+
+/// Converts a simulated duration to fractional microseconds (for reporting).
+constexpr double to_micros(SimDuration d) { return static_cast<double>(d) * 1e-3; }
+
+/// Converts fractional microseconds to a simulated duration, rounding down.
+constexpr SimDuration from_micros(double us) {
+  return us <= 0.0 ? 0 : static_cast<SimDuration>(us * 1e3);
+}
+
+}  // namespace pacon::sim

@@ -1,0 +1,17 @@
+#include "workload/kvload.h"
+
+namespace pacon::wl {
+
+sim::Task<std::uint64_t> kv_insert_load(kv::MemCacheCluster& cluster, net::NodeId node,
+                                        const KvLoadConfig& config) {
+  std::uint64_t ok = 0;
+  const std::string value(config.value_bytes, 'v');
+  for (int i = 0; i < config.ops; ++i) {
+    const auto r =
+        co_await cluster.set(node, config.key_prefix + std::to_string(i), value);
+    if (r.status == kv::KvStatus::ok) ++ok;
+  }
+  co_return ok;
+}
+
+}  // namespace pacon::wl

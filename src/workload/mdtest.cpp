@@ -1,0 +1,89 @@
+#include "workload/mdtest.h"
+
+namespace pacon::wl {
+
+std::string item_name(const std::string& prefix, int client, int index) {
+  return prefix + std::to_string(client) + "." + std::to_string(index);
+}
+
+sim::Task<std::uint64_t> mdtest_mkdir_phase(MetaClient& client, fs::Path base, int client_rank,
+                                            int count) {
+  std::uint64_t ok = 0;
+  for (int i = 0; i < count; ++i) {
+    auto r = co_await client.mkdir(base.child(item_name("dir.", client_rank, i)),
+                                   fs::FileMode::dir_default());
+    if (r) ++ok;
+  }
+  co_return ok;
+}
+
+sim::Task<std::uint64_t> mdtest_create_phase(MetaClient& client, fs::Path base, int client_rank,
+                                             int count) {
+  std::uint64_t ok = 0;
+  for (int i = 0; i < count; ++i) {
+    auto r = co_await client.create(base.child(item_name("file.", client_rank, i)),
+                                    fs::FileMode::file_default());
+    if (r) ++ok;
+  }
+  co_return ok;
+}
+
+sim::Task<std::uint64_t> mdtest_stat_phase(MetaClient& client, fs::Path base, int total_clients,
+                                           int per_client, int ops, sim::Rng rng) {
+  std::uint64_t ok = 0;
+  for (int i = 0; i < ops; ++i) {
+    const int who = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(total_clients)));
+    const int idx = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(per_client)));
+    auto r = co_await client.getattr(base.child(item_name("file.", who, idx)));
+    if (r) ++ok;
+  }
+  co_return ok;
+}
+
+sim::Task<std::uint64_t> mdtest_remove_phase(MetaClient& client, fs::Path base, int client_rank,
+                                             int count) {
+  std::uint64_t ok = 0;
+  for (int i = 0; i < count; ++i) {
+    auto r = co_await client.unlink(base.child(item_name("file.", client_rank, i)));
+    if (r) ++ok;
+  }
+  co_return ok;
+}
+
+namespace {
+
+sim::Task<> build_level(MetaClient& client, fs::Path dir, int fanout, int remaining,
+                        std::vector<fs::Path>& leaves) {
+  if (remaining == 0) {
+    leaves.push_back(dir);
+    co_return;
+  }
+  for (int i = 0; i < fanout; ++i) {
+    const fs::Path child = dir.child("d" + std::to_string(i));
+    (void)co_await client.mkdir(child, fs::FileMode::dir_default());
+    co_await build_level(client, child, fanout, remaining - 1, leaves);
+  }
+}
+
+}  // namespace
+
+sim::Task<std::vector<fs::Path>> build_tree(MetaClient& client, fs::Path base, int fanout,
+                                            int depth) {
+  std::vector<fs::Path> leaves;
+  co_await build_level(client, base, fanout, depth, leaves);
+  co_return leaves;
+}
+
+sim::Task<std::uint64_t> random_stat_leaves(MetaClient& client,
+                                            const std::vector<fs::Path>& leaves, int ops,
+                                            sim::Rng rng) {
+  std::uint64_t ok = 0;
+  for (int i = 0; i < ops; ++i) {
+    const auto pick = rng.uniform(leaves.size());
+    auto r = co_await client.getattr(leaves[pick]);
+    if (r) ++ok;
+  }
+  co_return ok;
+}
+
+}  // namespace pacon::wl

@@ -1,0 +1,50 @@
+// mdtest-model workload generator (the paper's metadata benchmark).
+//
+// Reproduces the phases the evaluation uses: concurrent directory/file
+// creation in a shared parent, random stat over the created items, removal,
+// plus the fanout/depth namespace trees of the path-traversal experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "workload/meta_client.h"
+
+namespace pacon::wl {
+
+/// Names are mdtest-style: "<prefix><client>.<index>".
+std::string item_name(const std::string& prefix, int client, int index);
+
+/// Creates `count` directories under `base` on behalf of `client_rank`.
+/// Returns the number of successful operations.
+sim::Task<std::uint64_t> mdtest_mkdir_phase(MetaClient& client, fs::Path base, int client_rank,
+                                            int count);
+
+/// Creates `count` empty files under `base` on behalf of `client_rank`.
+sim::Task<std::uint64_t> mdtest_create_phase(MetaClient& client, fs::Path base, int client_rank,
+                                             int count);
+
+/// Randomly stats `ops` items out of the `total_clients * per_client` files
+/// previously created under `base` (any client's items, like mdtest -R).
+sim::Task<std::uint64_t> mdtest_stat_phase(MetaClient& client, fs::Path base, int total_clients,
+                                           int per_client, int ops, sim::Rng rng);
+
+/// Removes this client's `count` files under `base`.
+sim::Task<std::uint64_t> mdtest_remove_phase(MetaClient& client, fs::Path base, int client_rank,
+                                             int count);
+
+/// Builds a directory tree of the given fanout and depth under `base`
+/// ("mdtest to create a namespace with 5 fanouts", Section II.C). Returns
+/// the leaf directory paths.
+sim::Task<std::vector<fs::Path>> build_tree(MetaClient& client, fs::Path base, int fanout,
+                                            int depth);
+
+/// Randomly stats `ops` leaves from `leaves` (Fig. 2 / Fig. 9 inner loop).
+sim::Task<std::uint64_t> random_stat_leaves(MetaClient& client,
+                                            const std::vector<fs::Path>& leaves, int ops,
+                                            sim::Rng rng);
+
+}  // namespace pacon::wl

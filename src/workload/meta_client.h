@@ -1,0 +1,37 @@
+// System-agnostic client interface the workloads drive.
+//
+// BeeGFS-client, IndexFS-client and Pacon all sit behind this facade (see
+// harness/testbed.h), so every benchmark and workload runs unmodified
+// against each system under comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fs/error.h"
+#include "fs/path.h"
+#include "fs/types.h"
+#include "sim/task.h"
+
+namespace pacon::wl {
+
+class MetaClient {
+ public:
+  virtual ~MetaClient() = default;
+
+  virtual sim::Task<fs::FsResult<void>> mkdir(const fs::Path& path, fs::FileMode mode) = 0;
+  virtual sim::Task<fs::FsResult<void>> create(const fs::Path& path, fs::FileMode mode) = 0;
+  virtual sim::Task<fs::FsResult<fs::InodeAttr>> getattr(const fs::Path& path) = 0;
+  virtual sim::Task<fs::FsResult<void>> unlink(const fs::Path& path) = 0;
+  virtual sim::Task<fs::FsResult<void>> rmdir(const fs::Path& path) = 0;
+  virtual sim::Task<fs::FsResult<std::vector<fs::DirEntry>>> readdir(const fs::Path& path) = 0;
+  virtual sim::Task<fs::FsResult<std::uint64_t>> write(const fs::Path& path,
+                                                       std::uint64_t offset,
+                                                       std::uint64_t length) = 0;
+  virtual sim::Task<fs::FsResult<std::uint64_t>> read(const fs::Path& path,
+                                                      std::uint64_t offset,
+                                                      std::uint64_t length) = 0;
+  virtual sim::Task<fs::FsResult<void>> fsync(const fs::Path& path) = 0;
+};
+
+}  // namespace pacon::wl

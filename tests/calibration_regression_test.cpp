@@ -1,0 +1,124 @@
+// Calibration regression tests: small fixed scenarios pinned to the
+// behaviour bands the figure reproductions depend on. If a change to any
+// layer shifts these shapes (deliberately or not), these tests flag it
+// before the (slow) benches do. Bands are deliberately wide: they encode
+// orderings and rough factors, not exact numbers.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/testbed.h"
+#include "sim/combinators.h"
+
+namespace pacon::harness {
+namespace {
+
+using sim::Task;
+
+double create_rate(SystemKind kind, std::size_t nodes, int clients_per_node) {
+  TestBedConfig cfg;
+  cfg.kind = kind;
+  cfg.client_nodes = nodes;
+  TestBed bed(cfg);
+  bed.provision_workspace("/w", fs::Credentials{1000, 1000});
+  std::vector<std::unique_ptr<wl::MetaClient>> clients;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    for (int c = 0; c < clients_per_node; ++c) {
+      clients.push_back(bed.make_client(n, "/w", fs::Credentials{1000, 1000}));
+    }
+  }
+  auto op = [&clients](std::size_t i, std::uint64_t index) -> Task<bool> {
+    auto r = co_await clients[i]->create(
+        fs::Path::parse("/w/f" + std::to_string(i) + "_" + std::to_string(index)),
+        fs::FileMode::file_default());
+    co_return r.has_value();
+  };
+  return measure_throughput(bed.sim(), clients.size(), op, 10_ms, 80_ms).ops_per_sec();
+}
+
+TEST(CalibrationRegression, BeegfsMdsCeilingBand) {
+  // The single-MDS ceiling anchors every BeeGFS comparison: ~60 kops/s.
+  const double rate = create_rate(SystemKind::beegfs, 4, 20);
+  EXPECT_GT(rate, 30e3);
+  EXPECT_LT(rate, 120e3);
+}
+
+TEST(CalibrationRegression, BeegfsDoesNotScaleWithNodes) {
+  const double at2 = create_rate(SystemKind::beegfs, 2, 20);
+  const double at8 = create_rate(SystemKind::beegfs, 8, 20);
+  EXPECT_LT(at8, at2 * 1.3) << "BeeGFS must stay MDS-bound";
+}
+
+TEST(CalibrationRegression, PaconScalesWithNodes) {
+  const double at2 = create_rate(SystemKind::pacon, 2, 20);
+  const double at8 = create_rate(SystemKind::pacon, 8, 20);
+  EXPECT_GT(at8, at2 * 2.0) << "Pacon must scale with client nodes";
+}
+
+TEST(CalibrationRegression, SystemOrderingOnCreates) {
+  // The Fig. 7 ordering at a scaled-down cluster: Pacon > IndexFS > BeeGFS
+  // once the GIGA+ splits have a chance to engage.
+  const double beegfs = create_rate(SystemKind::beegfs, 8, 20);
+  const double indexfs = create_rate(SystemKind::indexfs, 8, 20);
+  const double pacon = create_rate(SystemKind::pacon, 8, 20);
+  EXPECT_GT(indexfs, beegfs);
+  EXPECT_GT(pacon, 4.0 * indexfs);
+  EXPECT_GT(pacon, 20.0 * beegfs);
+}
+
+TEST(CalibrationRegression, PaconCreateLatencyIsCacheBound) {
+  // One create = cache round trip + queue publish: well under one
+  // MDS-inclusive round trip (~170us), well over pure loopback.
+  TestBedConfig cfg;
+  cfg.kind = SystemKind::pacon;
+  cfg.client_nodes = 4;
+  TestBed bed(cfg);
+  bed.provision_workspace("/w", fs::Credentials{1000, 1000});
+  auto client = bed.make_client(0, "/w", fs::Credentials{1000, 1000});
+  sim::SimDuration elapsed = 0;
+  sim::run_task(bed.sim(), [](sim::Simulation& s, wl::MetaClient& c,
+                              sim::SimDuration& out) -> Task<> {
+    // Warm the parent hint with one op first.
+    (void)co_await c.create(fs::Path::parse("/w/warm"), fs::FileMode::file_default());
+    const auto t0 = s.now();
+    for (int i = 0; i < 50; ++i) {
+      (void)co_await c.create(fs::Path::parse("/w/f" + std::to_string(i)),
+                              fs::FileMode::file_default());
+    }
+    out = (s.now() - t0) / 50;
+  }(bed.sim(), *client, elapsed));
+  EXPECT_GT(elapsed, 20'000u);   // > 20us: real wire time is charged
+  EXPECT_LT(elapsed, 120'000u);  // < 120us: no synchronous MDS visit
+}
+
+TEST(CalibrationRegression, DeterministicAcrossIdenticalRuns) {
+  const double a = create_rate(SystemKind::pacon, 2, 10);
+  const double b = create_rate(SystemKind::pacon, 2, 10);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(CalibrationRegression, SeedChangesJitterNotRegime) {
+  auto with_seed = [](std::uint64_t seed) {
+    TestBedConfig cfg;
+    cfg.kind = SystemKind::pacon;
+    cfg.client_nodes = 2;
+    cfg.seed = seed;
+    TestBed bed(cfg);
+    bed.provision_workspace("/w", fs::Credentials{1000, 1000});
+    std::vector<std::unique_ptr<wl::MetaClient>> clients;
+    for (int c = 0; c < 10; ++c) clients.push_back(bed.make_client(0, "/w", {1000, 1000}));
+    auto op = [&clients](std::size_t i, std::uint64_t index) -> Task<bool> {
+      auto r = co_await clients[i]->create(
+          fs::Path::parse("/w/f" + std::to_string(i) + "_" + std::to_string(index)),
+          fs::FileMode::file_default());
+      co_return r.has_value();
+    };
+    return measure_throughput(bed.sim(), clients.size(), op, 5_ms, 50_ms).ops_per_sec();
+  };
+  const double s1 = with_seed(1);
+  const double s2 = with_seed(2);
+  EXPECT_NE(s1, s2);                 // jitter differs
+  EXPECT_NEAR(s1, s2, 0.15 * s1);    // regime does not
+}
+
+}  // namespace
+}  // namespace pacon::harness

@@ -1,0 +1,198 @@
+// Failure-injection tests: node crashes at awkward moments, RPC failures on
+// the commit path, cache-node loss, and recovery through checkpoints.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/pacon.h"
+#include "sim/combinators.h"
+#include "sim/simulation.h"
+
+namespace pacon::core {
+namespace {
+
+using fs::FsError;
+using fs::Path;
+using sim::Simulation;
+using sim::Task;
+
+struct World {
+  explicit World(std::size_t client_nodes = 3)
+      : fabric(sim, net::FabricConfig{}),
+        dfs(sim, fabric),
+        registry(sim, fabric, dfs),
+        rt{sim, fabric, dfs, registry} {
+    for (std::size_t i = 0; i < client_nodes; ++i) {
+      nodes.push_back(net::NodeId{static_cast<std::uint32_t>(i)});
+    }
+    dfs::DfsClient admin(sim, dfs, net::NodeId{90'000});
+    sim::run_task(sim, [](dfs::DfsClient& io) -> Task<> {
+      (void)co_await io.mkdir(Path::parse("/app"), fs::FileMode{0x7, 0x7, 0x7});
+    }(admin));
+  }
+
+  std::unique_ptr<Pacon> make_client(std::uint32_t node) {
+    PaconConfig cfg;
+    cfg.workspace = Path::parse("/app");
+    cfg.nodes = nodes;
+    return std::make_unique<Pacon>(rt, net::NodeId{node}, std::move(cfg));
+  }
+
+  Simulation sim;
+  net::Fabric fabric;
+  dfs::DfsCluster dfs;
+  RegionRegistry registry;
+  PaconRuntime rt;
+  std::vector<net::NodeId> nodes;
+};
+
+TEST(Failure, RpcToDeadNodeThrows) {
+  World w;
+  auto c = w.make_client(0);
+  w.fabric.set_node_down(net::NodeId{1}, true);
+  // Cache keys hashing to node 1 become unreachable: ops raise RpcError,
+  // which surfaces to the caller as an exception (the simulated process
+  // would crash/retry, as a real client would on a dead memcached).
+  bool saw_failure = false;
+  sim::run_task(w.sim, [](Pacon& p, bool& failed) -> Task<> {
+    for (int i = 0; i < 32; ++i) {
+      try {
+        (void)co_await p.create(Path::parse("/app/f" + std::to_string(i)),
+                                fs::FileMode::file_default());
+      } catch (const net::RpcError&) {
+        failed = true;
+        break;
+      }
+    }
+  }(*c, saw_failure));
+  EXPECT_TRUE(saw_failure);
+}
+
+TEST(Failure, DetachedNodeStopsBlockingDrain) {
+  World w;
+  auto c0 = w.make_client(0);
+  auto c1 = w.make_client(1);
+  sim::run_task(w.sim, [](World& world, Pacon& a, Pacon& b) -> Task<> {
+    // Both clients publish work; node 1 dies before its queue drains.
+    for (int i = 0; i < 10; ++i) {
+      (void)co_await a.create(Path::parse("/app/a" + std::to_string(i)),
+                              fs::FileMode::file_default());
+      (void)co_await b.create(Path::parse("/app/b" + std::to_string(i)),
+                              fs::FileMode::file_default());
+    }
+    world.fabric.set_node_down(net::NodeId{1}, true);
+    a.region().detach_failed_node(net::NodeId{1});
+    // drain() must complete: lost operations are accounted out.
+    co_await a.drain();
+    EXPECT_EQ(a.region().pending_commits(), 0u);
+  }(w, *c0, *c1));
+}
+
+TEST(Failure, SurvivorsContinueAfterDetach) {
+  World w;
+  auto c0 = w.make_client(0);
+  auto c2 = w.make_client(2);
+  sim::run_task(w.sim, [](World& world, Pacon& a, Pacon& b) -> Task<> {
+    (void)co_await a.create(Path::parse("/app/before"), fs::FileMode::file_default());
+    co_await a.drain();
+    world.fabric.set_node_down(net::NodeId{1}, true);
+    a.region().detach_failed_node(net::NodeId{1});
+    // Keys on the dead cache server are gone, but entries on survivors and
+    // everything committed to the DFS remain reachable...
+    int created = 0;
+    for (int i = 0; i < 16; ++i) {
+      try {
+        auto r = co_await b.create(Path::parse("/app/after" + std::to_string(i)),
+                                   fs::FileMode::file_default());
+        if (r) ++created;
+      } catch (const net::RpcError&) {
+        // keys hashed to the dead server: a full implementation would remap
+        // the ring; our region keeps the ring static and recovery rebuilds.
+      }
+    }
+    EXPECT_GT(created, 0);
+    co_await b.drain();
+  }(w, *c0, *c2));
+}
+
+TEST(Failure, CheckpointRestoreAfterCrashIsComplete) {
+  World w;
+  auto c0 = w.make_client(0);
+  auto c1 = w.make_client(1);
+  sim::run_task(w.sim, [](World& world, Pacon& a, Pacon& b) -> Task<> {
+    // A deep, mixed workspace at checkpoint time.
+    (void)co_await a.mkdir(Path::parse("/app/dirs"), fs::FileMode::dir_default());
+    for (int i = 0; i < 20; ++i) {
+      (void)co_await a.create(Path::parse("/app/dirs/f" + std::to_string(i)),
+                              fs::FileMode::file_default());
+    }
+    (void)co_await b.create(Path::parse("/app/data"), fs::FileMode::file_default());
+    (void)co_await b.write(Path::parse("/app/data"), 0, 2048);
+    auto ckpt = co_await a.checkpoint();
+    EXPECT_TRUE(ckpt.has_value());
+    if (!ckpt) co_return;
+
+    // Post-checkpoint damage, then crash.
+    (void)co_await b.remove(Path::parse("/app/dirs/f3"));
+    (void)co_await b.create(Path::parse("/app/garbage"), fs::FileMode::file_default());
+    world.fabric.set_node_down(net::NodeId{1}, true);
+    a.region().detach_failed_node(net::NodeId{1});
+
+    EXPECT_TRUE((co_await a.restore(*ckpt)).has_value());
+    // The checkpointed state is back in full.
+    for (int i = 0; i < 20; ++i) {
+      auto got = co_await a.getattr(Path::parse("/app/dirs/f" + std::to_string(i)));
+      EXPECT_TRUE(got.has_value()) << i;
+    }
+    auto data = co_await a.getattr(Path::parse("/app/data"));
+    EXPECT_TRUE(data.has_value());
+    if (data) EXPECT_EQ(data->size, 2048u);
+    EXPECT_EQ((co_await a.getattr(Path::parse("/app/garbage"))).error(), FsError::not_found);
+  }(w, *c0, *c1));
+}
+
+TEST(Failure, CommitRetriesSurviveTransientMdsOutage) {
+  World w;
+  auto c = w.make_client(0);
+  sim::run_task(w.sim, [](World& world, Pacon& p) -> Task<> {
+    (void)co_await p.create(Path::parse("/app/f"), fs::FileMode::file_default());
+    // MDS node goes dark before the commit lands, then returns.
+    world.fabric.set_node_down(world.dfs.config().mds_node, true);
+    co_await world.sim.delay(5_ms);
+    world.fabric.set_node_down(world.dfs.config().mds_node, false);
+    co_await p.drain();
+    // The op was eventually applied despite the outage.
+    dfs::DfsClient probe(world.sim, world.dfs, net::NodeId{90'001});
+    EXPECT_TRUE((co_await probe.getattr(Path::parse("/app/f"))).has_value());
+  }(w, *c));
+  EXPECT_GT(c->region().commit_retries(), 0u);
+}
+
+TEST(Failure, MultipleCheckpointsSelectable) {
+  World w;
+  auto c = w.make_client(0);
+  sim::run_task(w.sim, [](Pacon& p) -> Task<> {
+    (void)co_await p.create(Path::parse("/app/v1"), fs::FileMode::file_default());
+    auto ckpt1 = co_await p.checkpoint();
+    (void)co_await p.create(Path::parse("/app/v2"), fs::FileMode::file_default());
+    auto ckpt2 = co_await p.checkpoint();
+    (void)co_await p.create(Path::parse("/app/v3"), fs::FileMode::file_default());
+    co_await p.drain();
+
+    // Roll back to the middle state.
+    EXPECT_TRUE((co_await p.restore(*ckpt2)).has_value());
+    EXPECT_TRUE((co_await p.getattr(Path::parse("/app/v1"))).has_value());
+    EXPECT_TRUE((co_await p.getattr(Path::parse("/app/v2"))).has_value());
+    EXPECT_FALSE((co_await p.getattr(Path::parse("/app/v3"))).has_value());
+    // And further back.
+    EXPECT_TRUE((co_await p.restore(*ckpt1)).has_value());
+    EXPECT_TRUE((co_await p.getattr(Path::parse("/app/v1"))).has_value());
+    EXPECT_FALSE((co_await p.getattr(Path::parse("/app/v2"))).has_value());
+    // Restoring an unknown checkpoint fails cleanly.
+    EXPECT_EQ((co_await p.restore(999)).error(), FsError::not_found);
+  }(*c));
+}
+
+}  // namespace
+}  // namespace pacon::core

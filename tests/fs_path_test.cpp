@@ -1,0 +1,163 @@
+// Tests for the canonical Path type and shared fs vocabulary.
+#include <gtest/gtest.h>
+
+#include "fs/error.h"
+#include "fs/path.h"
+#include "fs/types.h"
+
+namespace pacon::fs {
+namespace {
+
+TEST(Path, DefaultIsRoot) {
+  Path p;
+  EXPECT_TRUE(p.valid());
+  EXPECT_TRUE(p.is_root());
+  EXPECT_EQ(p.str(), "/");
+  EXPECT_EQ(p.depth(), 0u);
+}
+
+TEST(Path, ParsesSimpleAbsolutePath) {
+  Path p = Path::parse("/a/b/c");
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.str(), "/a/b/c");
+  EXPECT_EQ(p.depth(), 3u);
+  EXPECT_EQ(p.name(), "c");
+}
+
+TEST(Path, NormalizesSlashRunsAndTrailingSlash) {
+  EXPECT_EQ(Path::parse("//a///b/").str(), "/a/b");
+  EXPECT_EQ(Path::parse("/").str(), "/");
+  EXPECT_EQ(Path::parse("///").str(), "/");
+}
+
+TEST(Path, NormalizesDotComponents) {
+  EXPECT_EQ(Path::parse("/a/./b/.").str(), "/a/b");
+}
+
+TEST(Path, RejectsRelativeAndDotDot) {
+  EXPECT_FALSE(Path::parse("a/b").valid());
+  EXPECT_FALSE(Path::parse("").valid());
+  EXPECT_FALSE(Path::parse("/a/../b").valid());
+}
+
+TEST(Path, ParentWalksUpToRoot) {
+  Path p = Path::parse("/a/b/c");
+  EXPECT_EQ(p.parent().str(), "/a/b");
+  EXPECT_EQ(p.parent().parent().str(), "/a");
+  EXPECT_EQ(p.parent().parent().parent().str(), "/");
+  EXPECT_EQ(Path().parent().str(), "/");  // root is its own parent
+}
+
+TEST(Path, ChildAppendsComponent) {
+  EXPECT_EQ(Path().child("a").str(), "/a");
+  EXPECT_EQ(Path::parse("/a").child("b").str(), "/a/b");
+}
+
+TEST(Path, ChildRejectsBadComponents) {
+  EXPECT_FALSE(Path().child("").valid());
+  EXPECT_FALSE(Path().child(".").valid());
+  EXPECT_FALSE(Path().child("..").valid());
+  EXPECT_FALSE(Path().child("a/b").valid());
+}
+
+TEST(Path, ComponentsRoundTrip) {
+  Path p = Path::parse("/x/y/z");
+  const auto comps = p.components();
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0], "x");
+  EXPECT_EQ(comps[1], "y");
+  EXPECT_EQ(comps[2], "z");
+  EXPECT_TRUE(Path().components().empty());
+}
+
+TEST(Path, PrefixQueries) {
+  Path root;
+  Path a = Path::parse("/a");
+  Path ab = Path::parse("/a/b");
+  Path abc = Path::parse("/a/b/c");
+  Path ax = Path::parse("/ax");
+
+  EXPECT_TRUE(root.is_prefix_of(abc));
+  EXPECT_TRUE(a.is_prefix_of(a));
+  EXPECT_TRUE(a.is_prefix_of(ab));
+  EXPECT_TRUE(ab.is_prefix_of(abc));
+  EXPECT_FALSE(ab.is_prefix_of(a));
+  // "/a" is not a prefix of "/ax" despite the string prefix relation.
+  EXPECT_FALSE(a.is_prefix_of(ax));
+}
+
+TEST(Path, RelativeTo) {
+  Path a = Path::parse("/a");
+  Path abc = Path::parse("/a/b/c");
+  EXPECT_EQ(abc.relative_to(a), "b/c");
+  EXPECT_EQ(abc.relative_to(Path()), "a/b/c");
+  EXPECT_EQ(a.relative_to(a), "");
+}
+
+TEST(Path, OrderingAndHashing) {
+  EXPECT_EQ(Path::parse("/a/b"), Path::parse("//a/b/"));
+  EXPECT_NE(Path::parse("/a/b"), Path::parse("/a/c"));
+  EXPECT_LT(Path::parse("/a/b"), Path::parse("/a/c"));
+  EXPECT_EQ(std::hash<Path>{}(Path::parse("/a/b")), std::hash<Path>{}(Path::parse("/a/b")));
+}
+
+TEST(FileMode, DefaultsMatchPosixConventions) {
+  const FileMode f = FileMode::file_default();
+  EXPECT_EQ(f.owner, FileMode::kRead | FileMode::kWrite);
+  const FileMode d = FileMode::dir_default();
+  EXPECT_EQ(d.owner, FileMode::kRead | FileMode::kWrite | FileMode::kExec);
+}
+
+TEST(Permits, OwnerGroupOtherPrecedence) {
+  const FileMode mode{/*owner=*/0x6, /*group=*/0x4, /*other=*/0x0};  // rw-r-----
+  const Uid owner = 100;
+  const Gid group = 200;
+  EXPECT_TRUE(permits(mode, owner, group, Credentials{100, 999}, Access::write));
+  EXPECT_TRUE(permits(mode, owner, group, Credentials{999, 200}, Access::read));
+  EXPECT_FALSE(permits(mode, owner, group, Credentials{999, 200}, Access::write));
+  EXPECT_FALSE(permits(mode, owner, group, Credentials{999, 999}, Access::read));
+}
+
+TEST(Permits, OwnerMatchShadowsGroupBits) {
+  // POSIX semantics: if you are the owner, only owner bits apply.
+  const FileMode mode{/*owner=*/0x0, /*group=*/0x7, /*other=*/0x7};
+  EXPECT_FALSE(permits(mode, 1, 1, Credentials{1, 1}, Access::read));
+}
+
+TEST(FsErrorStrings, AllEnumeratorsNamed) {
+  EXPECT_EQ(to_string(FsError::ok), "ok");
+  EXPECT_EQ(to_string(FsError::not_found), "not_found");
+  EXPECT_EQ(to_string(FsError::exists), "exists");
+  EXPECT_EQ(to_string(FsError::not_empty), "not_empty");
+  EXPECT_EQ(to_string(FsError::permission), "permission");
+  EXPECT_EQ(to_string(FsError::unsupported), "unsupported");
+}
+
+TEST(Expected, ValueAndErrorPaths) {
+  FsResult<int> ok(7);
+  EXPECT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, 7);
+  EXPECT_EQ(ok.value_or(-1), 7);
+
+  FsResult<int> bad = fail(FsError::not_found);
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error(), FsError::not_found);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Expected, VoidSpecialization) {
+  FsResult<void> ok;
+  EXPECT_TRUE(ok.has_value());
+  FsResult<void> bad = fail(FsError::io);
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error(), FsError::io);
+}
+
+TEST(Expected, MoveOnlyValue) {
+  FsResult<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+}  // namespace
+}  // namespace pacon::fs

@@ -1,0 +1,139 @@
+// Tests for the experiment harness: testbed assembly for each system,
+// the fixed-window throughput measurement, and cross-system sanity of the
+// headline comparisons (small-scale versions of the paper's claims).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "harness/testbed.h"
+#include "sim/combinators.h"
+
+namespace pacon::harness {
+namespace {
+
+using sim::Task;
+
+std::unique_ptr<TestBed> make_bed(SystemKind kind, std::size_t nodes = 2) {
+  TestBedConfig cfg;
+  cfg.kind = kind;
+  cfg.client_nodes = nodes;
+  auto bed = std::make_unique<TestBed>(cfg);
+  bed->provision_workspace("/w", fs::Credentials{1000, 1000});
+  return bed;
+}
+
+TEST(TestBed, BuildsEachSystemKind) {
+  for (const auto kind : {SystemKind::beegfs, SystemKind::indexfs, SystemKind::pacon}) {
+    auto bed = make_bed(kind);
+    auto client = bed->make_client(0, "/w", fs::Credentials{1000, 1000});
+    ASSERT_NE(client, nullptr) << to_string(kind);
+    sim::run_task(bed->sim(), [](wl::MetaClient& c) -> Task<> {
+      EXPECT_TRUE((co_await c.create(fs::Path::parse("/w/x"), fs::FileMode::file_default()))
+                      .has_value());
+      EXPECT_TRUE((co_await c.getattr(fs::Path::parse("/w/x"))).has_value());
+    }(*client));
+  }
+}
+
+TEST(TestBed, PaconRegionAccessible) {
+  auto bed = make_bed(SystemKind::pacon);
+  auto client = bed->make_client(0, "/w", fs::Credentials{1000, 1000});
+  ASSERT_NE(bed->pacon_region("/w"), nullptr);
+  EXPECT_EQ(bed->pacon_region("/nope"), nullptr);
+}
+
+TEST(TestBed, DataOpsWorkOnEachSystem) {
+  for (const auto kind : {SystemKind::beegfs, SystemKind::indexfs, SystemKind::pacon}) {
+    auto bed = make_bed(kind);
+    auto client = bed->make_client(0, "/w", fs::Credentials{1000, 1000});
+    sim::run_task(bed->sim(), [](wl::MetaClient& c) -> Task<> {
+      (void)co_await c.create(fs::Path::parse("/w/data"), fs::FileMode::file_default());
+      auto w = co_await c.write(fs::Path::parse("/w/data"), 0, 1 << 20);
+      EXPECT_TRUE(w.has_value());
+      auto r = co_await c.read(fs::Path::parse("/w/data"), 0, 1 << 20);
+      EXPECT_TRUE(r.has_value());
+      EXPECT_TRUE((co_await c.fsync(fs::Path::parse("/w/data"))).has_value());
+    }(*client));
+  }
+}
+
+TEST(Experiment, MeasureThroughputCountsOnlyWindowOps) {
+  sim::Simulation sim;
+  // Op with a fixed 1ms virtual duration: 4 clients x 100ms window -> 400.
+  auto op = [&sim](std::size_t, std::uint64_t) -> Task<bool> {
+    co_await sim.delay(1_ms);
+    co_return true;
+  };
+  const auto result = measure_throughput(sim, 4, op, 10_ms, 100_ms);
+  EXPECT_NEAR(static_cast<double>(result.ops), 400.0, 8.0);
+  EXPECT_DOUBLE_EQ(result.seconds, 0.1);
+  EXPECT_NEAR(result.ops_per_sec(), 4000.0, 100.0);
+}
+
+TEST(Experiment, FailedOpsAreNotCounted) {
+  sim::Simulation sim;
+  auto op = [&sim](std::size_t, std::uint64_t index) -> Task<bool> {
+    co_await sim.delay(1_ms);
+    co_return index % 2 == 0;  // half the ops "fail"
+  };
+  const auto result = measure_throughput(sim, 1, op, 0_ms, 100_ms);
+  EXPECT_NEAR(static_cast<double>(result.ops), 50.0, 3.0);
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    auto bed = make_bed(SystemKind::pacon);
+    auto client = bed->make_client(0, "/w", fs::Credentials{1000, 1000});
+    auto op = [&client](std::size_t, std::uint64_t index) -> Task<bool> {
+      auto r = co_await client->create(fs::Path::parse("/w/f" + std::to_string(index)),
+                                       fs::FileMode::file_default());
+      co_return r.has_value();
+    };
+    return measure_throughput(bed->sim(), 1, op, 5_ms, 50_ms).ops;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Comparison, PaconBeatsBaselinesOnCreates) {
+  // Scaled-down version of the paper's headline: 4 nodes x 5 clients. The
+  // split threshold is lowered so IndexFS's directory partitioning engages
+  // at this scale (as it would after seconds at full scale).
+  auto create_rate = [](SystemKind kind) {
+    TestBedConfig bed_cfg;
+    bed_cfg.kind = kind;
+    bed_cfg.client_nodes = 4;
+    bed_cfg.indexfs_cfg.split_threshold = 200;
+    auto bed = std::make_unique<TestBed>(bed_cfg);
+    bed->provision_workspace("/w", fs::Credentials{1000, 1000});
+    std::vector<std::unique_ptr<wl::MetaClient>> clients;
+    for (int n = 0; n < 4; ++n) {
+      for (int c = 0; c < 5; ++c) {
+        clients.push_back(
+            bed->make_client(static_cast<std::size_t>(n), "/w", fs::Credentials{1000, 1000}));
+      }
+    }
+    auto op = [&clients](std::size_t i, std::uint64_t index) -> Task<bool> {
+      auto r = co_await clients[i]->create(
+          fs::Path::parse("/w/f" + std::to_string(i) + "_" + std::to_string(index)),
+          fs::FileMode::file_default());
+      co_return r.has_value();
+    };
+    return measure_throughput(bed->sim(), clients.size(), op, 10_ms, 100_ms).ops_per_sec();
+  };
+  const double beegfs = create_rate(SystemKind::beegfs);
+  const double indexfs = create_rate(SystemKind::indexfs);
+  const double pacon = create_rate(SystemKind::pacon);
+  EXPECT_GT(pacon, 3.0 * beegfs);   // paper at full scale: >76x
+  EXPECT_GT(pacon, 2.0 * indexfs);  // paper at full scale: >8.8x
+}
+
+TEST(Report, SeriesTableFormatsRows) {
+  SeriesTable table("t", "x", {"a", "b"});
+  table.add_row("r1", {1.5, 1000.0});
+  ASSERT_EQ(table.rows().size(), 1u);
+  EXPECT_EQ(SeriesTable::format_value(1.5), "1.50");
+  EXPECT_EQ(SeriesTable::format_value(1234.0), "1234");
+}
+
+}  // namespace
+}  // namespace pacon::harness

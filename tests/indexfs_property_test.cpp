@@ -1,0 +1,92 @@
+// Property tests for the IndexFS GIGA+ machinery: under randomized
+// create/unlink storms with aggressive splitting, the directory's contents
+// must stay exact -- every surviving name reachable, every removed name
+// gone, readdir equal to the reference set -- for any seed.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "indexfs/client.h"
+#include "indexfs/indexfs.h"
+#include "sim/combinators.h"
+#include "sim/simulation.h"
+
+namespace pacon::indexfs {
+namespace {
+
+using fs::Path;
+using sim::Simulation;
+using sim::Task;
+
+class GigaStormProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GigaStormProperty, DirectoryContentsStayExact) {
+  const std::uint64_t seed = GetParam();
+  Simulation sim(seed);
+  net::Fabric fabric(sim, net::FabricConfig{});
+  IndexFsConfig cfg;
+  cfg.split_threshold = 64;  // aggressive splitting
+  IndexFsCluster cluster(sim, fabric, cfg);
+  for (std::uint32_t n = 0; n < 4; ++n) cluster.add_server(net::NodeId{n});
+
+  std::vector<std::unique_ptr<IndexFsClient>> clients;
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    clients.push_back(std::make_unique<IndexFsClient>(sim, cluster, net::NodeId{n}));
+  }
+
+  std::set<std::string> reference;  // names that must exist at the end
+  sim::run_task(sim, [](Simulation& s, std::vector<std::unique_ptr<IndexFsClient>>& cs,
+                        std::set<std::string>& ref, std::uint64_t sd) -> Task<> {
+    (void)co_await cs[0]->mkdir(Path::parse("/hot"), fs::FileMode::dir_default());
+    std::vector<Task<>> procs;
+    for (std::size_t id = 0; id < cs.size(); ++id) {
+      procs.push_back([](Simulation& sm, IndexFsClient& c, std::size_t me,
+                         std::set<std::string>& r, std::uint64_t sdd) -> Task<> {
+        sim::Rng rng = sm.rng().fork(sdd * 131 + me);
+        for (int k = 0; k < 150; ++k) {
+          const std::string name = "n" + std::to_string(me) + "_" + std::to_string(k);
+          co_await sm.delay(rng.uniform_in(1, 500));
+          auto made = co_await c.create(Path::parse("/hot").child(name),
+                                        fs::FileMode::file_default());
+          EXPECT_TRUE(made.has_value()) << name;
+          if (rng.chance(0.25)) {
+            auto gone = co_await c.unlink(Path::parse("/hot").child(name));
+            EXPECT_TRUE(gone.has_value()) << name;
+          } else {
+            r.insert(name);
+          }
+        }
+      }(s, *cs[id], id, ref, sd));
+    }
+    co_await sim::when_all(s, std::move(procs));
+  }(sim, clients, reference, seed));
+  sim.run();  // drain background splits
+
+  EXPECT_GT(cluster.splits_completed(), 0u) << "storm should have split the dir";
+
+  // Verify from a fresh client with a cold cache.
+  IndexFsClient reader(sim, cluster, net::NodeId{1});
+  sim::run_task(sim, [](IndexFsClient& c, const std::set<std::string>& ref) -> Task<> {
+    auto entries = co_await c.readdir(Path::parse("/hot"));
+    EXPECT_TRUE(entries.has_value());
+    if (!entries) co_return;
+    std::set<std::string> listed;
+    for (const auto& e : *entries) listed.insert(e.name);
+    EXPECT_EQ(listed, ref);
+    // Spot-check point lookups both ways.
+    std::size_t i = 0;
+    for (const auto& name : ref) {
+      if (i++ % 17 != 0) continue;
+      auto got = co_await c.getattr(Path::parse("/hot").child(name));
+      EXPECT_TRUE(got.has_value()) << name;
+    }
+    auto miss = co_await c.getattr(Path::parse("/hot/never_created"));
+    EXPECT_FALSE(miss.has_value());
+  }(reader, reference));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GigaStormProperty, ::testing::Values(1, 7, 23, 99, 1234));
+
+}  // namespace
+}  // namespace pacon::indexfs

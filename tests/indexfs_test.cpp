@@ -1,0 +1,266 @@
+// Tests for the IndexFS baseline: GIGA+ partition maps, server semantics,
+// client resolution with lease caching, splitting under create storms, and
+// bulk insertion.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "indexfs/client.h"
+#include "indexfs/indexfs.h"
+#include "sim/combinators.h"
+#include "sim/simulation.h"
+
+namespace pacon::indexfs {
+namespace {
+
+using fs::FsError;
+using fs::Path;
+using sim::Simulation;
+using sim::Task;
+
+struct Fixture {
+  explicit Fixture(IndexFsConfig cfg = {}, std::size_t servers = 4)
+      : fabric(sim, net::FabricConfig{}), cluster(sim, fabric, cfg) {
+    for (std::size_t i = 0; i < servers; ++i) {
+      cluster.add_server(net::NodeId{static_cast<std::uint32_t>(i)});
+    }
+  }
+  Simulation sim;
+  net::Fabric fabric;
+  IndexFsCluster cluster;
+};
+
+TEST(PartitionMap, SingleParitionInitially) {
+  PartitionMap map(8);
+  EXPECT_EQ(map.partition_count(), 1u);
+  for (std::uint64_t h = 0; h < 64; ++h) EXPECT_EQ(map.partition_of(h), 0u);
+}
+
+TEST(PartitionMap, SplitSendsHighBitHashesToNewPartition) {
+  PartitionMap map(8);
+  map.apply_split(0, 0);  // depth 0 -> partitions 0 and 1 at depth 1
+  EXPECT_EQ(map.partition_count(), 2u);
+  EXPECT_EQ(map.partition_of(0b0), 0u);
+  EXPECT_EQ(map.partition_of(0b1), 1u);
+  map.apply_split(1, 0);  // partition 1 at depth 1 -> 1 and 3 at depth 2
+  EXPECT_EQ(map.partition_of(0b01), 1u);
+  EXPECT_EQ(map.partition_of(0b11), 3u);
+  EXPECT_EQ(map.partition_of(0b10), 0u);  // untouched side
+}
+
+TEST(PartitionMap, FallbackChainWalksSplitHistory) {
+  PartitionMap map(8);
+  map.apply_split(0, 0);
+  map.apply_split(1, 0);
+  const auto chain = map.fallback_chain(3);
+  EXPECT_EQ(chain, (std::vector<std::uint32_t>{3, 1, 0}));
+}
+
+TEST(PartitionMap, CountsDriveSplitDecision) {
+  PartitionMap map(4);
+  for (int i = 0; i < 10; ++i) map.note_insert(0);
+  EXPECT_TRUE(map.should_split(0, 9, 4));
+  EXPECT_FALSE(map.should_split(0, 10, 4));
+  map.note_remove(0);
+  EXPECT_FALSE(map.should_split(0, 9, 4));
+}
+
+TEST(IndexFs, CreateThenStat) {
+  Fixture f;
+  IndexFsClient client(f.sim, f.cluster, net::NodeId{0});
+  sim::run_task(f.sim, [](IndexFsClient& c) -> Task<> {
+    auto made = co_await c.create(Path::parse("/file"), fs::FileMode::file_default());
+    EXPECT_TRUE(made.has_value());
+    c.invalidate_cache();  // force a server lookup
+    auto got = co_await c.getattr(Path::parse("/file"));
+    EXPECT_TRUE(got.has_value());
+    if (made && got) EXPECT_EQ(got->ino, made->ino);
+  }(client));
+}
+
+TEST(IndexFs, NestedDirectoriesResolve) {
+  Fixture f;
+  IndexFsClient client(f.sim, f.cluster, net::NodeId{0});
+  sim::run_task(f.sim, [](IndexFsClient& c) -> Task<> {
+    EXPECT_TRUE((co_await c.mkdir(Path::parse("/a"), fs::FileMode::dir_default())).has_value());
+    EXPECT_TRUE((co_await c.mkdir(Path::parse("/a/b"), fs::FileMode::dir_default())).has_value());
+    EXPECT_TRUE(
+        (co_await c.create(Path::parse("/a/b/f"), fs::FileMode::file_default())).has_value());
+    c.invalidate_cache();
+    auto got = co_await c.getattr(Path::parse("/a/b/f"));
+    EXPECT_TRUE(got.has_value());
+  }(client));
+}
+
+TEST(IndexFs, DuplicateCreateFails) {
+  Fixture f;
+  IndexFsClient client(f.sim, f.cluster, net::NodeId{0});
+  sim::run_task(f.sim, [](IndexFsClient& c) -> Task<> {
+    (void)co_await c.create(Path::parse("/f"), fs::FileMode::file_default());
+    auto again = co_await c.create(Path::parse("/f"), fs::FileMode::file_default());
+    EXPECT_EQ(again.error(), FsError::exists);
+  }(client));
+}
+
+TEST(IndexFs, UnlinkRemovesEntry) {
+  Fixture f;
+  IndexFsClient client(f.sim, f.cluster, net::NodeId{0});
+  sim::run_task(f.sim, [](IndexFsClient& c) -> Task<> {
+    (void)co_await c.create(Path::parse("/f"), fs::FileMode::file_default());
+    EXPECT_TRUE((co_await c.unlink(Path::parse("/f"))).has_value());
+    c.invalidate_cache();
+    EXPECT_EQ((co_await c.getattr(Path::parse("/f"))).error(), FsError::not_found);
+  }(client));
+}
+
+TEST(IndexFs, ReaddirMergesPartitions) {
+  Fixture f;
+  IndexFsClient client(f.sim, f.cluster, net::NodeId{0});
+  sim::run_task(f.sim, [](IndexFsClient& c) -> Task<> {
+    (void)co_await c.mkdir(Path::parse("/d"), fs::FileMode::dir_default());
+    for (int i = 0; i < 50; ++i) {
+      (void)co_await c.create(Path::parse("/d/f" + std::to_string(i)),
+                              fs::FileMode::file_default());
+    }
+    auto entries = co_await c.readdir(Path::parse("/d"));
+    EXPECT_TRUE(entries.has_value());
+    if (entries) EXPECT_EQ(entries->size(), 50u);
+  }(client));
+}
+
+TEST(IndexFs, RmdirRequiresEmpty) {
+  Fixture f;
+  IndexFsClient client(f.sim, f.cluster, net::NodeId{0});
+  sim::run_task(f.sim, [](IndexFsClient& c) -> Task<> {
+    (void)co_await c.mkdir(Path::parse("/d"), fs::FileMode::dir_default());
+    (void)co_await c.create(Path::parse("/d/f"), fs::FileMode::file_default());
+    EXPECT_EQ((co_await c.rmdir(Path::parse("/d"))).error(), FsError::not_empty);
+    (void)co_await c.unlink(Path::parse("/d/f"));
+    EXPECT_TRUE((co_await c.rmdir(Path::parse("/d"))).has_value());
+  }(client));
+}
+
+TEST(IndexFs, PermissionCheckedAtClient) {
+  Fixture f;
+  IndexFsClient owner(f.sim, f.cluster, net::NodeId{0}, fs::Credentials{100, 100});
+  IndexFsClient intruder(f.sim, f.cluster, net::NodeId{1}, fs::Credentials{200, 200});
+  sim::run_task(f.sim, [](IndexFsClient& o, IndexFsClient& x) -> Task<> {
+    (void)co_await o.mkdir(Path::parse("/priv"), fs::FileMode{0x7, 0x0, 0x0});
+    auto denied = co_await x.create(Path::parse("/priv/f"), fs::FileMode::file_default());
+    EXPECT_EQ(denied.error(), FsError::permission);
+  }(owner, intruder));
+}
+
+TEST(IndexFs, LeaseCacheCutsLookupRpcs) {
+  Fixture f;
+  IndexFsClient client(f.sim, f.cluster, net::NodeId{0});
+  sim::run_task(f.sim, [](IndexFsClient& c) -> Task<> {
+    (void)co_await c.mkdir(Path::parse("/d"), fs::FileMode::dir_default());
+    for (int i = 0; i < 20; ++i) {
+      (void)co_await c.create(Path::parse("/d/f" + std::to_string(i)),
+                              fs::FileMode::file_default());
+    }
+  }(client));
+  // mkdir (1 RPC) + 20 creates (1 RPC each); parent resolutions cached.
+  EXPECT_EQ(client.rpcs_sent(), 21u);
+  EXPECT_GT(client.lease_hits(), 0u);
+}
+
+TEST(IndexFs, CreateStormTriggersGigaSplits) {
+  IndexFsConfig cfg;
+  cfg.split_threshold = 200;
+  Fixture f(cfg);
+  IndexFsClient client(f.sim, f.cluster, net::NodeId{0});
+  sim::run_task(f.sim, [](IndexFsClient& c) -> Task<> {
+    (void)co_await c.mkdir(Path::parse("/hot"), fs::FileMode::dir_default());
+    for (int i = 0; i < 1500; ++i) {
+      auto r = co_await c.create(Path::parse("/hot/f" + std::to_string(i)),
+                                 fs::FileMode::file_default());
+      EXPECT_TRUE(r.has_value()) << i;
+    }
+  }(client));
+  f.sim.run();  // drain background splits
+  EXPECT_GT(f.cluster.splits_completed(), 0u);
+  // Every file is still reachable after the splits moved rows around.
+  IndexFsClient reader(f.sim, f.cluster, net::NodeId{2});
+  sim::run_task(f.sim, [](IndexFsClient& c) -> Task<> {
+    for (int i = 0; i < 1500; i += 113) {
+      auto got = co_await c.getattr(Path::parse("/hot/f" + std::to_string(i)));
+      EXPECT_TRUE(got.has_value()) << i;
+    }
+    auto entries = co_await c.readdir(Path::parse("/hot"));
+    EXPECT_TRUE(entries.has_value());
+    if (entries) EXPECT_EQ(entries->size(), 1500u);
+  }(reader));
+}
+
+TEST(IndexFs, SplitsSpreadLoadAcrossServers) {
+  IndexFsConfig cfg;
+  cfg.split_threshold = 100;
+  Fixture f(cfg, 8);
+  IndexFsClient client(f.sim, f.cluster, net::NodeId{0});
+  sim::run_task(f.sim, [](IndexFsClient& c) -> Task<> {
+    (void)co_await c.mkdir(Path::parse("/d"), fs::FileMode::dir_default());
+    for (int i = 0; i < 2000; ++i) {
+      (void)co_await c.create(Path::parse("/d/f" + std::to_string(i)),
+                              fs::FileMode::file_default());
+    }
+  }(client));
+  f.sim.run();
+  int busy_servers = 0;
+  for (std::size_t i = 0; i < f.cluster.server_count(); ++i) {
+    if (f.cluster.server(i).ops_served() > 20) ++busy_servers;
+  }
+  EXPECT_GT(busy_servers, 2);
+}
+
+TEST(IndexFs, BulkInsertionBuffersAndFlushes) {
+  IndexFsConfig cfg;
+  cfg.bulk_insertion = true;
+  cfg.bulk_batch_size = 100;
+  Fixture f(cfg);
+  IndexFsClient client(f.sim, f.cluster, net::NodeId{0});
+  sim::run_task(f.sim, [](IndexFsClient& c) -> Task<> {
+    (void)co_await c.mkdir(Path::parse("/ckpt"), fs::FileMode::dir_default());
+    const auto rpcs_before = c.rpcs_sent();
+    for (int i = 0; i < 99; ++i) {
+      auto r = co_await c.create(Path::parse("/ckpt/rank" + std::to_string(i)),
+                                 fs::FileMode::file_default());
+      EXPECT_TRUE(r.has_value());
+    }
+    // 99 buffered creates: no create RPCs yet.
+    EXPECT_EQ(c.rpcs_sent(), rpcs_before);
+    EXPECT_TRUE((co_await c.flush()).has_value());
+    EXPECT_GT(c.rpcs_sent(), rpcs_before);
+    // After the flush another client can see the files.
+    co_return;
+  }(client));
+  IndexFsClient reader(f.sim, f.cluster, net::NodeId{1});
+  sim::run_task(f.sim, [](IndexFsClient& c) -> Task<> {
+    auto got = co_await c.getattr(Path::parse("/ckpt/rank42"));
+    EXPECT_TRUE(got.has_value());
+  }(reader));
+}
+
+TEST(IndexFs, BulkModeIsFasterPerCreate) {
+  auto run_mode = [](bool bulk) {
+    IndexFsConfig cfg;
+    cfg.bulk_insertion = bulk;
+    Fixture f(cfg);
+    IndexFsClient client(f.sim, f.cluster, net::NodeId{0});
+    sim::run_task(f.sim, [](IndexFsClient& c) -> Task<> {
+      (void)co_await c.mkdir(Path::parse("/d"), fs::FileMode::dir_default());
+      for (int i = 0; i < 1000; ++i) {
+        (void)co_await c.create(Path::parse("/d/f" + std::to_string(i)),
+                                fs::FileMode::file_default());
+      }
+      (void)co_await c.flush();
+    }(client));
+    return f.sim.now();
+  };
+  EXPECT_LT(run_mode(true), run_mode(false) / 2);
+}
+
+}  // namespace
+}  // namespace pacon::indexfs

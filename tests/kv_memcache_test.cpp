@@ -1,0 +1,296 @@
+// Tests for the Memcached substitute: semantics (get/set/add/replace/del,
+// CAS), memory accounting, LRU eviction, and cluster routing over the ring.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "kv/memcache.h"
+#include "sim/combinators.h"
+#include "sim/simulation.h"
+
+namespace pacon::kv {
+namespace {
+
+using net::Fabric;
+using net::FabricConfig;
+using net::NodeId;
+using sim::Simulation;
+using sim::Task;
+
+struct Fixture {
+  Simulation sim;
+  Fabric fabric{sim, FabricConfig{}};
+};
+
+KvRequest make(KvRequest::Op op, std::string key, std::string value = {},
+               std::uint64_t cas = 0, std::uint32_t flags = 0) {
+  return KvRequest{op, std::move(key), std::move(value), cas, flags};
+}
+
+TEST(MemCacheServer, SetThenGet) {
+  Fixture f;
+  MemCacheServer server(f.sim, f.fabric, NodeId{0});
+  auto r = server.apply(make(KvRequest::Op::set, "k", "v", 0, 42));
+  EXPECT_EQ(r.status, KvStatus::ok);
+  auto g = server.apply(make(KvRequest::Op::get, "k"));
+  EXPECT_EQ(g.status, KvStatus::ok);
+  EXPECT_EQ(g.value, "v");
+  EXPECT_EQ(g.flags, 42u);
+  EXPECT_EQ(g.cas, r.cas);
+}
+
+TEST(MemCacheServer, GetMissingReturnsNotFound) {
+  Fixture f;
+  MemCacheServer server(f.sim, f.fabric, NodeId{0});
+  EXPECT_EQ(server.apply(make(KvRequest::Op::get, "nope")).status, KvStatus::not_found);
+}
+
+TEST(MemCacheServer, AddOnlyWhenAbsent) {
+  Fixture f;
+  MemCacheServer server(f.sim, f.fabric, NodeId{0});
+  EXPECT_EQ(server.apply(make(KvRequest::Op::add, "k", "v1")).status, KvStatus::ok);
+  EXPECT_EQ(server.apply(make(KvRequest::Op::add, "k", "v2")).status, KvStatus::exists);
+  EXPECT_EQ(server.apply(make(KvRequest::Op::get, "k")).value, "v1");
+}
+
+TEST(MemCacheServer, ReplaceOnlyWhenPresent) {
+  Fixture f;
+  MemCacheServer server(f.sim, f.fabric, NodeId{0});
+  EXPECT_EQ(server.apply(make(KvRequest::Op::replace, "k", "v")).status, KvStatus::not_found);
+  server.apply(make(KvRequest::Op::set, "k", "v1"));
+  EXPECT_EQ(server.apply(make(KvRequest::Op::replace, "k", "v2")).status, KvStatus::ok);
+  EXPECT_EQ(server.apply(make(KvRequest::Op::get, "k")).value, "v2");
+}
+
+TEST(MemCacheServer, DeleteRemovesItem) {
+  Fixture f;
+  MemCacheServer server(f.sim, f.fabric, NodeId{0});
+  server.apply(make(KvRequest::Op::set, "k", "v"));
+  EXPECT_EQ(server.apply(make(KvRequest::Op::del, "k")).status, KvStatus::ok);
+  EXPECT_EQ(server.apply(make(KvRequest::Op::get, "k")).status, KvStatus::not_found);
+  EXPECT_EQ(server.apply(make(KvRequest::Op::del, "k")).status, KvStatus::not_found);
+  EXPECT_EQ(server.item_count(), 0u);
+}
+
+TEST(MemCacheServer, CasVersionsAdvanceMonotonically) {
+  Fixture f;
+  MemCacheServer server(f.sim, f.fabric, NodeId{0});
+  const auto v1 = server.apply(make(KvRequest::Op::set, "k", "a")).cas;
+  const auto v2 = server.apply(make(KvRequest::Op::set, "k", "b")).cas;
+  EXPECT_GT(v2, v1);
+}
+
+TEST(MemCacheServer, CasSucceedsOnMatchingVersion) {
+  Fixture f;
+  MemCacheServer server(f.sim, f.fabric, NodeId{0});
+  const auto v = server.apply(make(KvRequest::Op::set, "k", "old")).cas;
+  EXPECT_EQ(server.apply(make(KvRequest::Op::cas, "k", "new", v)).status, KvStatus::ok);
+  EXPECT_EQ(server.apply(make(KvRequest::Op::get, "k")).value, "new");
+}
+
+TEST(MemCacheServer, CasFailsOnStaleVersion) {
+  Fixture f;
+  MemCacheServer server(f.sim, f.fabric, NodeId{0});
+  const auto v = server.apply(make(KvRequest::Op::set, "k", "old")).cas;
+  server.apply(make(KvRequest::Op::set, "k", "mid"));  // bumps version
+  const auto r = server.apply(make(KvRequest::Op::cas, "k", "new", v));
+  EXPECT_EQ(r.status, KvStatus::cas_mismatch);
+  EXPECT_GT(r.cas, v);  // reports the current version for retry
+  EXPECT_EQ(server.apply(make(KvRequest::Op::get, "k")).value, "mid");
+}
+
+TEST(MemCacheServer, CasOnMissingKeyIsNotFound) {
+  Fixture f;
+  MemCacheServer server(f.sim, f.fabric, NodeId{0});
+  EXPECT_EQ(server.apply(make(KvRequest::Op::cas, "k", "v", 1)).status, KvStatus::not_found);
+}
+
+TEST(MemCacheServer, MemoryAccountingTracksMutations) {
+  Fixture f;
+  KvConfig cfg;
+  cfg.item_overhead_bytes = 10;
+  MemCacheServer server(f.sim, f.fabric, NodeId{0}, cfg);
+  server.apply(make(KvRequest::Op::set, "key", "value"));  // 3 + 5 + 10 = 18
+  EXPECT_EQ(server.bytes_used(), 18u);
+  server.apply(make(KvRequest::Op::set, "key", "v"));  // 3 + 1 + 10 = 14
+  EXPECT_EQ(server.bytes_used(), 14u);
+  server.apply(make(KvRequest::Op::del, "key"));
+  EXPECT_EQ(server.bytes_used(), 0u);
+}
+
+TEST(MemCacheServer, LruEvictionDropsColdestFirst) {
+  Fixture f;
+  KvConfig cfg;
+  cfg.item_overhead_bytes = 0;
+  cfg.capacity_bytes = 30;  // fits three 10-byte items ("kX" + 8-byte value)
+  MemCacheServer server(f.sim, f.fabric, NodeId{0}, cfg);
+  server.apply(make(KvRequest::Op::set, "k1", "12345678"));
+  server.apply(make(KvRequest::Op::set, "k2", "12345678"));
+  server.apply(make(KvRequest::Op::set, "k3", "12345678"));
+  // Touch k1 so k2 becomes the coldest.
+  server.apply(make(KvRequest::Op::get, "k1"));
+  server.apply(make(KvRequest::Op::set, "k4", "12345678"));
+  EXPECT_EQ(server.evictions(), 1u);
+  EXPECT_EQ(server.apply(make(KvRequest::Op::get, "k2")).status, KvStatus::not_found);
+  EXPECT_EQ(server.apply(make(KvRequest::Op::get, "k1")).status, KvStatus::ok);
+  EXPECT_EQ(server.apply(make(KvRequest::Op::get, "k4")).status, KvStatus::ok);
+}
+
+TEST(MemCacheServer, NoSpaceWhenEvictionDisabled) {
+  Fixture f;
+  KvConfig cfg;
+  cfg.item_overhead_bytes = 0;
+  cfg.capacity_bytes = 10;
+  cfg.lru_eviction = false;
+  MemCacheServer server(f.sim, f.fabric, NodeId{0}, cfg);
+  EXPECT_EQ(server.apply(make(KvRequest::Op::set, "k", "12345678")).status, KvStatus::ok);
+  EXPECT_EQ(server.apply(make(KvRequest::Op::set, "q", "12345678")).status, KvStatus::no_space);
+  // The original item is untouched.
+  EXPECT_EQ(server.apply(make(KvRequest::Op::get, "k")).status, KvStatus::ok);
+}
+
+TEST(MemCacheServer, OversizeUpdateOfExistingKeyEvictsOthersNotItself) {
+  Fixture f;
+  KvConfig cfg;
+  cfg.item_overhead_bytes = 0;
+  cfg.capacity_bytes = 20;
+  MemCacheServer server(f.sim, f.fabric, NodeId{0}, cfg);
+  server.apply(make(KvRequest::Op::set, "a", "123456789"));  // 10 bytes
+  server.apply(make(KvRequest::Op::set, "b", "123456789"));  // 10 bytes
+  // Growing "a" to 19 bytes requires evicting "b".
+  EXPECT_EQ(server.apply(make(KvRequest::Op::set, "a", "123456789012345678")).status,
+            KvStatus::ok);
+  EXPECT_EQ(server.apply(make(KvRequest::Op::get, "b")).status, KvStatus::not_found);
+  EXPECT_EQ(server.apply(make(KvRequest::Op::get, "a")).value, "123456789012345678");
+}
+
+TEST(MemCacheServer, KeysWithPrefixFindsSubtree) {
+  Fixture f;
+  MemCacheServer server(f.sim, f.fabric, NodeId{0});
+  server.apply(make(KvRequest::Op::set, "/ws/a", "1"));
+  server.apply(make(KvRequest::Op::set, "/ws/b", "2"));
+  server.apply(make(KvRequest::Op::set, "/other/c", "3"));
+  auto keys = server.keys_with_prefix("/ws/");
+  std::set<std::string> got(keys.begin(), keys.end());
+  EXPECT_EQ(got, (std::set<std::string>{"/ws/a", "/ws/b"}));
+}
+
+TEST(MemCacheServer, RpcPathChargesWireAndServiceTime) {
+  Fixture f;
+  MemCacheServer server(f.sim, f.fabric, NodeId{0});
+  const auto resp = sim::run_task(
+      f.sim, server.call(NodeId{1}, make(KvRequest::Op::set, "k", "v")));
+  EXPECT_EQ(resp.status, KvStatus::ok);
+  // Two remote hops (>= 25us each) plus >= 1.5us service.
+  EXPECT_GE(f.sim.now(), 51'500u);
+}
+
+TEST(HashRing, DistributesKeysAcrossNodes) {
+  HashRing ring;
+  for (std::uint32_t n = 0; n < 4; ++n) ring.add_node(NodeId{n});
+  std::map<std::uint32_t, int> hits;
+  for (int i = 0; i < 10000; ++i) {
+    hits[ring.node_for("/dir/file" + std::to_string(i)).value]++;
+  }
+  ASSERT_EQ(hits.size(), 4u);
+  for (const auto& [node, count] : hits) {
+    EXPECT_GT(count, 1000) << "node " << node << " underloaded";
+    EXPECT_LT(count, 5000) << "node " << node << " overloaded";
+  }
+}
+
+TEST(HashRing, RemovalOnlyRemapsVictimKeys) {
+  HashRing ring;
+  for (std::uint32_t n = 0; n < 4; ++n) ring.add_node(NodeId{n});
+  std::map<std::string, NodeId> before;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = "/k" + std::to_string(i);
+    before[key] = ring.node_for(key);
+  }
+  ring.remove_node(NodeId{2});
+  int moved = 0;
+  for (const auto& [key, owner] : before) {
+    const NodeId now = ring.node_for(key);
+    if (owner == NodeId{2}) {
+      EXPECT_NE(now, NodeId{2});
+    } else {
+      if (now != owner) ++moved;
+    }
+  }
+  EXPECT_EQ(moved, 0) << "keys not owned by the removed node must not move";
+}
+
+TEST(HashRing, LookupIsStable) {
+  HashRing a, b;
+  for (std::uint32_t n = 0; n < 8; ++n) {
+    a.add_node(NodeId{n});
+    b.add_node(NodeId{n});
+  }
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "/stable" + std::to_string(i);
+    EXPECT_EQ(a.node_for(key), b.node_for(key));
+  }
+}
+
+TEST(MemCacheCluster, RoutesByKeyAndServesAllOps) {
+  Fixture f;
+  MemCacheCluster cluster(f.sim, f.fabric);
+  for (std::uint32_t n = 0; n < 4; ++n) cluster.add_server(NodeId{n});
+  sim::run_task(f.sim, [](MemCacheCluster& c) -> Task<> {
+    for (int i = 0; i < 64; ++i) {
+      const std::string key = "/app/file" + std::to_string(i);
+      const auto r = co_await c.set(NodeId{0}, key, "data" + std::to_string(i));
+      EXPECT_EQ(r.status, KvStatus::ok);
+    }
+    for (int i = 0; i < 64; ++i) {
+      const std::string key = "/app/file" + std::to_string(i);
+      const auto g = co_await c.get(NodeId{0}, key);
+      EXPECT_EQ(g.status, KvStatus::ok);
+      EXPECT_EQ(g.value, "data" + std::to_string(i));
+    }
+    const auto d = co_await c.del(NodeId{0}, "/app/file0");
+    EXPECT_EQ(d.status, KvStatus::ok);
+    const auto miss = co_await c.get(NodeId{0}, "/app/file0");
+    EXPECT_EQ(miss.status, KvStatus::not_found);
+  }(cluster));
+  EXPECT_EQ(cluster.total_items(), 63u);
+  EXPECT_GT(cluster.total_bytes_used(), 0u);
+  // Items landed on more than one server.
+  int populated = 0;
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    if (cluster.server_on(NodeId{n}).item_count() > 0) ++populated;
+  }
+  EXPECT_GT(populated, 1);
+}
+
+TEST(MemCacheCluster, CasRetryLoopConvergesUnderContention) {
+  Fixture f;
+  MemCacheCluster cluster(f.sim, f.fabric);
+  for (std::uint32_t n = 0; n < 2; ++n) cluster.add_server(NodeId{n});
+  // 8 concurrent incrementers, each adding 10 to a shared counter via CAS.
+  sim::run_task(f.sim, [](Simulation& s, MemCacheCluster& c) -> Task<> {
+    (void)co_await c.set(NodeId{0}, "/counter", "0");
+    std::vector<Task<>> workers;
+    for (std::uint32_t w = 0; w < 8; ++w) {
+      workers.push_back([](MemCacheCluster& cl, std::uint32_t id) -> Task<> {
+        for (int i = 0; i < 10; ++i) {
+          for (;;) {
+            const auto cur = co_await cl.get(NodeId{id % 2}, "/counter");
+            const int v = std::stoi(cur.value);
+            const auto r = co_await cl.cas(NodeId{id % 2}, "/counter",
+                                           std::to_string(v + 1), cur.cas);
+            if (r.status == KvStatus::ok) break;
+            EXPECT_EQ(r.status, KvStatus::cas_mismatch);
+          }
+        }
+      }(c, w));
+    }
+    co_await sim::when_all(s, std::move(workers));
+    const auto fin = co_await c.get(NodeId{0}, "/counter");
+    EXPECT_EQ(fin.value, "80");
+  }(f.sim, cluster));
+}
+
+}  // namespace
+}  // namespace pacon::kv

@@ -1,0 +1,149 @@
+// Tests for the pub/sub bus, especially the per-(publisher, subscription)
+// FIFO guarantee the Pacon commit protocol depends on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/pubsub.h"
+#include "sim/simulation.h"
+
+namespace pacon::net {
+namespace {
+
+using sim::Simulation;
+using sim::Task;
+using namespace sim::literals;
+
+struct Msg {
+  int publisher = 0;
+  int seq = 0;
+};
+
+TEST(PubSub, DeliversToSingleSubscriber) {
+  Simulation sim;
+  Fabric fabric(sim, FabricConfig{});
+  PubSubBus<Msg> bus(sim, fabric);
+  auto sub = bus.subscribe("commits", NodeId{0});
+  EXPECT_EQ(bus.publish(NodeId{1}, "commits", Msg{1, 0}), 1u);
+  sim.run();
+  auto m = sub->try_recv();
+  EXPECT_TRUE(m.has_value());
+  EXPECT_EQ(m->publisher, 1);
+}
+
+TEST(PubSub, PublishToUnknownTopicReachesNobody) {
+  Simulation sim;
+  Fabric fabric(sim, FabricConfig{});
+  PubSubBus<Msg> bus(sim, fabric);
+  EXPECT_EQ(bus.publish(NodeId{1}, "nope", Msg{}), 0u);
+}
+
+TEST(PubSub, AllSubscribersReceiveEveryMessage) {
+  Simulation sim;
+  Fabric fabric(sim, FabricConfig{});
+  PubSubBus<Msg> bus(sim, fabric);
+  auto s1 = bus.subscribe("t", NodeId{0});
+  auto s2 = bus.subscribe("t", NodeId{1});
+  auto s3 = bus.subscribe("t", NodeId{2});
+  for (int i = 0; i < 10; ++i) bus.publish(NodeId{7}, "t", Msg{7, i});
+  sim.run();
+  EXPECT_EQ(s1->depth(), 10u);
+  EXPECT_EQ(s2->depth(), 10u);
+  EXPECT_EQ(s3->depth(), 10u);
+}
+
+TEST(PubSub, PerPublisherFifoSurvivesJitter) {
+  Simulation sim;
+  FabricConfig cfg;
+  cfg.jitter_frac = 0.9;  // aggressive jitter to provoke reordering
+  Fabric fabric(sim, cfg);
+  PubSubBus<Msg> bus(sim, fabric);
+  auto sub = bus.subscribe("t", NodeId{0});
+  // Two publishers interleave; each must stay internally ordered.
+  for (int i = 0; i < 200; ++i) {
+    bus.publish(NodeId{1}, "t", Msg{1, i});
+    bus.publish(NodeId{2}, "t", Msg{2, i});
+  }
+  sim.run();
+  int last1 = -1, last2 = -1;
+  std::size_t total = 0;
+  while (auto m = sub->try_recv()) {
+    if (m->publisher == 1) {
+      EXPECT_GT(m->seq, last1);
+      last1 = m->seq;
+    } else {
+      EXPECT_GT(m->seq, last2);
+      last2 = m->seq;
+    }
+    ++total;
+  }
+  EXPECT_EQ(total, 400u);
+  EXPECT_EQ(last1, 199);
+  EXPECT_EQ(last2, 199);
+}
+
+TEST(PubSub, AwaitableRecvWakesOnDelivery) {
+  Simulation sim;
+  Fabric fabric(sim, FabricConfig{});
+  PubSubBus<Msg> bus(sim, fabric);
+  auto sub = bus.subscribe("t", NodeId{0});
+  int got = -1;
+  sim.spawn([](PubSubBus<Msg>::Subscription& s, int& out) -> Task<> {
+    auto m = co_await s.recv();
+    if (m) out = m->seq;
+  }(*sub, got));
+  sim.spawn([](Simulation& s, PubSubBus<Msg>& b) -> Task<> {
+    co_await s.delay(1_ms);
+    b.publish(NodeId{1}, "t", Msg{1, 55});
+  }(sim, bus));
+  sim.run();
+  EXPECT_EQ(got, 55);
+}
+
+TEST(PubSub, UnsubscribeClosesChannel) {
+  Simulation sim;
+  Fabric fabric(sim, FabricConfig{});
+  PubSubBus<Msg> bus(sim, fabric);
+  auto sub = bus.subscribe("t", NodeId{0});
+  EXPECT_EQ(bus.subscriber_count("t"), 1u);
+  bus.unsubscribe("t", sub);
+  EXPECT_EQ(bus.subscriber_count("t"), 0u);
+  bool saw_close = false;
+  sim.spawn([](PubSubBus<Msg>::Subscription& s, bool& closed) -> Task<> {
+    auto m = co_await s.recv();
+    closed = !m.has_value();
+  }(*sub, saw_close));
+  sim.run();
+  EXPECT_TRUE(saw_close);
+  // Messages published after unsubscribe are not delivered.
+  EXPECT_EQ(bus.publish(NodeId{1}, "t", Msg{}), 0u);
+}
+
+TEST(PubSub, DownSubscriberNodeIsSkipped) {
+  Simulation sim;
+  Fabric fabric(sim, FabricConfig{});
+  PubSubBus<Msg> bus(sim, fabric);
+  auto up = bus.subscribe("t", NodeId{0});
+  auto down = bus.subscribe("t", NodeId{1});
+  fabric.set_node_down(NodeId{1}, true);
+  EXPECT_EQ(bus.publish(NodeId{2}, "t", Msg{}), 1u);
+  sim.run();
+  EXPECT_EQ(up->depth(), 1u);
+  EXPECT_EQ(down->depth(), 0u);
+}
+
+TEST(PubSub, DepthObservableForBackpressure) {
+  Simulation sim;
+  Fabric fabric(sim, FabricConfig{});
+  PubSubBus<Msg> bus(sim, fabric);
+  auto sub = bus.subscribe("t", NodeId{0});
+  for (int i = 0; i < 5; ++i) bus.publish(NodeId{0}, "t", Msg{0, i});
+  sim.run();
+  EXPECT_EQ(sub->depth(), 5u);
+  (void)sub->try_recv();
+  EXPECT_EQ(sub->depth(), 4u);
+}
+
+}  // namespace
+}  // namespace pacon::net

@@ -1,0 +1,231 @@
+// Tests for the fabric latency model, typed RPC (including saturation and
+// failure injection), and the disk model.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/fabric.h"
+#include "net/rpc.h"
+#include "sim/combinators.h"
+#include "sim/disk.h"
+#include "sim/simulation.h"
+
+namespace pacon::net {
+namespace {
+
+using sim::Simulation;
+using sim::Task;
+using namespace sim::literals;
+
+struct EchoReq {
+  int x = 0;
+};
+struct EchoResp {
+  int x = 0;
+};
+
+FabricConfig no_jitter() {
+  FabricConfig cfg;
+  cfg.jitter_frac = 0.0;
+  return cfg;
+}
+
+TEST(Fabric, LoopbackIsCheaperThanRemote) {
+  Simulation sim;
+  Fabric fabric(sim, no_jitter());
+  const auto local = fabric.one_way(NodeId{1}, NodeId{1}, 64);
+  const auto remote = fabric.one_way(NodeId{1}, NodeId{2}, 64);
+  EXPECT_LT(local, remote);
+}
+
+TEST(Fabric, BandwidthTermGrowsWithSize) {
+  Simulation sim;
+  Fabric fabric(sim, no_jitter());
+  const auto small = fabric.one_way(NodeId{1}, NodeId{2}, 64);
+  const auto big = fabric.one_way(NodeId{1}, NodeId{2}, 1 << 20);
+  EXPECT_GT(big, small);
+  // 1 MiB at 5 GB/s is ~210us of serialization on top of the base latency.
+  EXPECT_NEAR(static_cast<double>(big - small), 1048576.0 / 5e9 * 1e9, 1e3);
+}
+
+TEST(Fabric, JitterStaysWithinConfiguredFraction) {
+  Simulation sim;
+  FabricConfig cfg;
+  cfg.jitter_frac = 0.2;
+  Fabric fabric(sim, cfg);
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = fabric.one_way(NodeId{0}, NodeId{1}, 0);
+    EXPECT_GE(d, cfg.remote_one_way);
+    EXPECT_LE(d, static_cast<sim::SimDuration>(static_cast<double>(cfg.remote_one_way) * 1.2) + 1);
+  }
+}
+
+TEST(Fabric, DownNodeIsUnreachable) {
+  Simulation sim;
+  Fabric fabric(sim, no_jitter());
+  EXPECT_TRUE(fabric.reachable(NodeId{0}, NodeId{1}));
+  fabric.set_node_down(NodeId{1}, true);
+  EXPECT_FALSE(fabric.reachable(NodeId{0}, NodeId{1}));
+  EXPECT_FALSE(fabric.reachable(NodeId{1}, NodeId{0}));
+  fabric.set_node_down(NodeId{1}, false);
+  EXPECT_TRUE(fabric.reachable(NodeId{0}, NodeId{1}));
+}
+
+TEST(Rpc, RoundTripReturnsHandlerResult) {
+  Simulation sim;
+  Fabric fabric(sim, no_jitter());
+  RpcService<EchoReq, EchoResp> svc(
+      sim, fabric, NodeId{0},
+      [&sim](EchoReq r) -> Task<EchoResp> {
+        co_await sim.delay(10_us);
+        co_return EchoResp{r.x * 2};
+      });
+  const auto resp = sim::run_task(sim, svc.call(NodeId{1}, EchoReq{21}));
+  EXPECT_EQ(resp.x, 42);
+  // Two one-way hops (25us each) plus 10us service time, plus ~51ns of
+  // serialization per 256-byte message.
+  EXPECT_NEAR(static_cast<double>(sim.now()), 60'000.0, 200.0);
+}
+
+TEST(Rpc, LocalCallSkipsRemoteLatency) {
+  Simulation sim;
+  Fabric fabric(sim, no_jitter());
+  RpcService<EchoReq, EchoResp> svc(
+      sim, fabric, NodeId{0},
+      [](EchoReq r) -> Task<EchoResp> { co_return EchoResp{r.x}; });
+  (void)sim::run_task(sim, svc.call(NodeId{0}, EchoReq{1}));
+  EXPECT_LT(sim.now(), 10'000u);  // two loopback hops, well under remote RTT
+}
+
+TEST(Rpc, WorkerPoolBoundsConcurrency) {
+  Simulation sim;
+  Fabric fabric(sim, no_jitter());
+  RpcService<EchoReq, EchoResp>::Config cfg;
+  cfg.workers = 2;
+  RpcService<EchoReq, EchoResp> svc(
+      sim, fabric, NodeId{0},
+      [&sim](EchoReq r) -> Task<EchoResp> {
+        co_await sim.delay(100_us);
+        co_return EchoResp{r.x};
+      },
+      cfg);
+  sim::run_task(sim, [](Simulation& s, RpcService<EchoReq, EchoResp>& service) -> Task<> {
+    std::vector<Task<EchoResp>> calls;
+    for (int i = 0; i < 8; ++i) calls.push_back(service.call(NodeId{1}, EchoReq{i}));
+    (void)co_await sim::when_all_values(s, std::move(calls));
+    // 8 jobs x 100us on 2 workers = 400us of service time serialized in
+    // waves, plus request and response flight (overlapped across calls).
+    EXPECT_GE(s.now(), 400'000u + 50'000u);
+    EXPECT_LT(s.now(), 400'000u + 120'000u);
+  }(sim, svc));
+  EXPECT_EQ(svc.requests_served(), 8u);
+}
+
+TEST(Rpc, SaturationQueuesRatherThanDrops) {
+  Simulation sim;
+  Fabric fabric(sim, no_jitter());
+  RpcService<EchoReq, EchoResp>::Config cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 4;
+  RpcService<EchoReq, EchoResp> svc(
+      sim, fabric, NodeId{0},
+      [&sim](EchoReq r) -> Task<EchoResp> {
+        co_await sim.delay(50_us);
+        co_return EchoResp{r.x};
+      },
+      cfg);
+  int completed = 0;
+  sim::run_task(sim, [](Simulation& s, RpcService<EchoReq, EchoResp>& service, int& done) -> Task<> {
+    std::vector<Task<>> calls;
+    for (int i = 0; i < 32; ++i) {
+      calls.push_back([](RpcService<EchoReq, EchoResp>& sv, int k, int& d) -> Task<> {
+        (void)co_await sv.call(NodeId{1}, EchoReq{k});
+        ++d;
+      }(service, i, done));
+    }
+    co_await sim::when_all(s, std::move(calls));
+  }(sim, svc, completed));
+  EXPECT_EQ(completed, 32);
+}
+
+TEST(Rpc, HandlerExceptionPropagatesToCaller) {
+  Simulation sim;
+  Fabric fabric(sim, no_jitter());
+  RpcService<EchoReq, EchoResp> svc(
+      sim, fabric, NodeId{0},
+      [](EchoReq) -> Task<EchoResp> { throw std::runtime_error("handler blew up"); });
+  EXPECT_THROW(sim::run_task(sim, svc.call(NodeId{1}, EchoReq{})), std::runtime_error);
+}
+
+TEST(Rpc, CallToDownServerThrowsUnreachable) {
+  Simulation sim;
+  Fabric fabric(sim, no_jitter());
+  RpcService<EchoReq, EchoResp> svc(
+      sim, fabric, NodeId{0},
+      [](EchoReq r) -> Task<EchoResp> { co_return EchoResp{r.x}; });
+  fabric.set_node_down(NodeId{0}, true);
+  try {
+    sim::run_task(sim, svc.call(NodeId{1}, EchoReq{}));
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), RpcError::Code::unreachable);
+  }
+}
+
+TEST(Rpc, ShutdownRejectsNewCalls) {
+  Simulation sim;
+  Fabric fabric(sim, no_jitter());
+  RpcService<EchoReq, EchoResp> svc(
+      sim, fabric, NodeId{0},
+      [](EchoReq r) -> Task<EchoResp> { co_return EchoResp{r.x}; });
+  svc.shutdown();
+  try {
+    sim::run_task(sim, svc.call(NodeId{1}, EchoReq{}));
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), RpcError::Code::shutdown);
+  }
+}
+
+TEST(Disk, ChargesLatencyPlusTransfer) {
+  Simulation sim;
+  sim::DiskConfig cfg;
+  cfg.write_latency = 25_us;
+  cfg.write_bw_bytes_per_sec = 1e9;
+  sim::SimDisk disk(sim, cfg);
+  sim::run_task(sim, disk.write(1'000'000));  // 1 MB at 1 GB/s = 1 ms transfer
+  EXPECT_EQ(sim.now(), 25'000u + 1'000'000u);
+  EXPECT_EQ(disk.writes(), 1u);
+}
+
+TEST(Disk, QueueDepthSerializesExcessOps) {
+  Simulation sim;
+  sim::DiskConfig cfg;
+  cfg.write_latency = 100_us;
+  cfg.write_bw_bytes_per_sec = 1e12;  // make transfer negligible
+  cfg.queue_depth = 2;
+  sim::SimDisk disk(sim, cfg);
+  sim::run_task(sim, [](Simulation& s, sim::SimDisk& d) -> Task<> {
+    std::vector<Task<>> ops;
+    for (int i = 0; i < 6; ++i) ops.push_back(d.write(128));
+    co_await sim::when_all(s, std::move(ops));
+    // 6 writes, 2 at a time, 100us each -> 3 waves.
+    EXPECT_EQ(s.now(), 300'000u);
+  }(sim, disk));
+}
+
+TEST(Disk, ReadsAndWritesCountedSeparately) {
+  Simulation sim;
+  sim::SimDisk disk(sim, sim::DiskConfig::nvme());
+  sim::run_task(sim, [](sim::SimDisk& d) -> Task<> {
+    co_await d.read(512);
+    co_await d.read(512);
+    co_await d.write(512);
+  }(disk));
+  EXPECT_EQ(disk.reads(), 2u);
+  EXPECT_EQ(disk.writes(), 1u);
+}
+
+}  // namespace
+}  // namespace pacon::net

@@ -1,0 +1,212 @@
+// Tests for the awaitable MPMC channel.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/channel.h"
+#include "sim/combinators.h"
+#include "sim/simulation.h"
+
+namespace pacon::sim {
+namespace {
+
+TEST(Channel, SendThenRecv) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  run_task(sim, [](Simulation& s, Channel<int>& c) -> Task<> {
+    EXPECT_TRUE(co_await c.send(5));
+    auto v = co_await c.recv();
+    EXPECT_EQ(v, std::optional<int>(5));
+    if (!v) co_return;
+    EXPECT_EQ(*v, 5);
+    (void)s;
+  }(sim, ch));
+}
+
+TEST(Channel, RecvBlocksUntilSend) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  SimTime recv_time = 0;
+  sim.spawn([](Simulation& s, Channel<int>& c, SimTime& out) -> Task<> {
+    auto v = co_await c.recv();
+    EXPECT_TRUE(v.has_value());
+    if (!v) co_return;
+    EXPECT_EQ(*v, 9);
+    out = s.now();
+  }(sim, ch, recv_time));
+  sim.spawn([](Simulation& s, Channel<int>& c) -> Task<> {
+    co_await s.delay(3_us);
+    co_await c.send(9);
+  }(sim, ch));
+  sim.run();
+  EXPECT_EQ(recv_time, 3'000u);
+}
+
+TEST(Channel, FifoOrderAcrossManyItems) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  std::vector<int> got;
+  sim.spawn([](Channel<int>& c) -> Task<> {
+    for (int i = 0; i < 100; ++i) EXPECT_TRUE(co_await c.send(i));
+    c.close();
+  }(ch));
+  sim.spawn([](Channel<int>& c, std::vector<int>& out) -> Task<> {
+    for (;;) {
+      auto v = co_await c.recv();
+      if (!v) break;
+      out.push_back(*v);
+    }
+  }(ch, got));
+  sim.run();
+  ASSERT_EQ(got.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Channel, BoundedCapacityBlocksSender) {
+  Simulation sim;
+  Channel<int> ch(sim, 2);
+  SimTime third_send_done = 0;
+  sim.spawn([](Simulation& s, Channel<int>& c, SimTime& out) -> Task<> {
+    co_await c.send(1);
+    co_await c.send(2);
+    co_await c.send(3);  // blocks: capacity 2
+    out = s.now();
+  }(sim, ch, third_send_done));
+  sim.spawn([](Simulation& s, Channel<int>& c) -> Task<> {
+    co_await s.delay(10_us);
+    (void)co_await c.recv();  // frees one slot
+  }(sim, ch));
+  sim.run();
+  EXPECT_EQ(third_send_done, 10'000u);
+}
+
+TEST(Channel, TrySendRespectsCapacity) {
+  Simulation sim;
+  Channel<int> ch(sim, 1);
+  EXPECT_TRUE(ch.try_send(1));
+  EXPECT_FALSE(ch.try_send(2));
+  EXPECT_EQ(ch.size(), 1u);
+}
+
+TEST(Channel, TryRecvOnEmptyReturnsNullopt) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  EXPECT_EQ(ch.try_recv(), std::nullopt);
+  ch.try_send(4);
+  EXPECT_EQ(ch.try_recv(), std::optional<int>(4));
+}
+
+TEST(Channel, CloseWakesBlockedReceiversWithNullopt) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  int wakeups = 0;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](Channel<int>& c, int& n) -> Task<> {
+      auto v = co_await c.recv();
+      EXPECT_FALSE(v.has_value());
+      ++n;
+    }(ch, wakeups));
+  }
+  sim.spawn([](Simulation& s, Channel<int>& c) -> Task<> {
+    co_await s.delay(1_us);
+    c.close();
+  }(sim, ch));
+  sim.run();
+  EXPECT_EQ(wakeups, 3);
+}
+
+TEST(Channel, CloseDrainsBufferedItemsFirst) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  ch.try_send(1);
+  ch.try_send(2);
+  ch.close();
+  std::vector<int> got;
+  run_task(sim, [](Channel<int>& c, std::vector<int>& out) -> Task<> {
+    for (;;) {
+      auto v = co_await c.recv();
+      if (!v) break;
+      out.push_back(*v);
+    }
+  }(ch, got));
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(Channel, SendOnClosedReturnsFalse) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  ch.close();
+  const bool accepted = run_task(sim, [](Channel<int>& c) -> Task<bool> {
+    co_return co_await c.send(1);
+  }(ch));
+  EXPECT_FALSE(accepted);
+}
+
+TEST(Channel, CloseWakesBlockedSenderWithFalse) {
+  Simulation sim;
+  Channel<int> ch(sim, 1);
+  ch.try_send(0);
+  bool accepted = true;
+  sim.spawn([](Channel<int>& c, bool& out) -> Task<> {
+    out = co_await c.send(1);  // blocks: full
+  }(ch, accepted));
+  sim.spawn([](Simulation& s, Channel<int>& c) -> Task<> {
+    co_await s.delay(1_us);
+    c.close();
+  }(sim, ch));
+  sim.run();
+  EXPECT_FALSE(accepted);
+}
+
+TEST(Channel, ManyProducersManyConsumers) {
+  Simulation sim;
+  Channel<int> ch(sim, 8);
+  constexpr int kProducers = 10;
+  constexpr int kItemsEach = 50;
+  int produced_sum = 0;
+  int consumed_sum = 0;
+  int consumed_count = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    sim.spawn([](Simulation& s, Channel<int>& c, int base, int& sum) -> Task<> {
+      Rng rng = s.rng().fork(static_cast<std::uint64_t>(base));
+      for (int i = 0; i < kItemsEach; ++i) {
+        const int v = base * 1000 + i;
+        sum += v;
+        co_await s.delay(rng.uniform_in(1, 100));
+        EXPECT_TRUE(co_await c.send(v));
+      }
+    }(sim, ch, p, produced_sum));
+  }
+  for (int q = 0; q < 4; ++q) {
+    sim.spawn([](Channel<int>& c, int& sum, int& count) -> Task<> {
+      for (;;) {
+        auto v = co_await c.recv();
+        if (!v) break;
+        sum += *v;
+        ++count;
+      }
+    }(ch, consumed_sum, consumed_count));
+  }
+  // Close once all producers are done: run, then close, then drain.
+  sim.run();
+  ch.close();
+  sim.run();
+  EXPECT_EQ(consumed_count, kProducers * kItemsEach);
+  EXPECT_EQ(consumed_sum, produced_sum);
+}
+
+TEST(Channel, MoveOnlyPayload) {
+  Simulation sim;
+  Channel<std::unique_ptr<std::string>> ch(sim);
+  run_task(sim, [](Channel<std::unique_ptr<std::string>>& c) -> Task<> {
+    co_await c.send(std::make_unique<std::string>("payload"));
+    auto v = co_await c.recv();
+    EXPECT_TRUE(v.has_value());
+    if (!v) co_return;
+    EXPECT_EQ(**v, "payload");
+  }(ch));
+}
+
+}  // namespace
+}  // namespace pacon::sim

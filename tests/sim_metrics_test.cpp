@@ -1,0 +1,109 @@
+// Tests for counters, log-bucketed histograms, and the metric registry.
+#include <gtest/gtest.h>
+
+#include "sim/metrics.h"
+#include "sim/random.h"
+
+namespace pacon::sim {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(9);
+  EXPECT_EQ(c.value(), 10u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 31u);
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.percentile(1.0), 31u);
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  h.record(100);
+  h.record(200);
+  h.record(300);
+  EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+TEST(Histogram, PercentileWithinBucketResolution) {
+  Histogram h;
+  Rng rng(5);
+  // Uniform values in [0, 1e6): p50 should land near 5e5 within ~4% error.
+  for (int i = 0; i < 200000; ++i) h.record(rng.uniform(1'000'000));
+  const auto p50 = static_cast<double>(h.percentile(0.50));
+  EXPECT_NEAR(p50, 5e5, 5e5 * 0.05);
+  const auto p99 = static_cast<double>(h.percentile(0.99));
+  EXPECT_NEAR(p99, 9.9e5, 9.9e5 * 0.05);
+}
+
+TEST(Histogram, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.record(UINT64_MAX);
+  h.record(1ull << 60);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  EXPECT_GT(h.percentile(1.0), 0u);
+}
+
+TEST(Histogram, MergeCombinesPopulations) {
+  Histogram a, b;
+  for (int i = 0; i < 1000; ++i) a.record(10);
+  for (int i = 0; i < 1000; ++i) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2000u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+  EXPECT_LE(a.percentile(0.25), 10u + 1);
+  EXPECT_GE(a.percentile(0.75), 900u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(MetricRegistry, LookupCreatesOnce) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("ops");
+  a.add(3);
+  EXPECT_EQ(reg.counter("ops").value(), 3u);
+  Histogram& h = reg.histogram("latency");
+  h.record(9);
+  EXPECT_EQ(reg.histogram("latency").count(), 1u);
+  EXPECT_EQ(reg.counters().size(), 1u);
+  EXPECT_EQ(reg.histograms().size(), 1u);
+}
+
+TEST(MetricRegistry, DumpMentionsAllMetrics) {
+  MetricRegistry reg;
+  reg.counter("commits").add(7);
+  reg.histogram("rpc_ns").record(123);
+  const std::string dump = reg.dump();
+  EXPECT_NE(dump.find("commits = 7"), std::string::npos);
+  EXPECT_NE(dump.find("rpc_ns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pacon::sim

@@ -1,0 +1,151 @@
+// Tests for deterministic RNG streams and distributions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace pacon::sim {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndStable) {
+  Rng parent(42);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  Rng c1_again = parent.fork(1);
+  EXPECT_EQ(c1.next_u64(), c1_again.next_u64());
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (c1.next_u64() == c2.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, NamedForksHashDistinctly) {
+  Rng parent(42);
+  Rng net = parent.fork("network");
+  Rng wl = parent.fork("workload");
+  EXPECT_NE(net.next_u64(), wl.next_u64());
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(Rng, UniformCoversRangeRoughlyEvenly) {
+  Rng rng(7);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> hist(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++hist[rng.uniform(kBuckets)];
+  for (const int h : hist) {
+    EXPECT_GT(h, kSamples / static_cast<int>(kBuckets) * 9 / 10);
+    EXPECT_LT(h, kSamples / static_cast<int>(kBuckets) * 11 / 10);
+  }
+}
+
+TEST(Rng, UniformInIsInclusive) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_in(5, 8));
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{5, 6, 7, 8}));
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(50.0);
+  EXPECT_NEAR(sum / kN, 50.0, 1.0);
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal(10.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(19);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(Zipf, UniformThetaZeroCoversRange) {
+  Rng rng(23);
+  ZipfGenerator zipf(100, 0.0);
+  std::vector<int> hist(100, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const auto k = zipf.next(rng);
+    ASSERT_LT(k, 100u);
+    ++hist[k];
+  }
+  for (const int h : hist) EXPECT_GT(h, 0);
+}
+
+TEST(Zipf, SkewConcentratesOnLowRanks) {
+  Rng rng(29);
+  ZipfGenerator zipf(10000, 0.99);
+  int top10 = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (zipf.next(rng) < 10) ++top10;
+  }
+  // With theta=0.99 over 10k keys, the 10 hottest keys draw a large share.
+  EXPECT_GT(top10, kN / 4);
+}
+
+TEST(Zipf, SingleElementAlwaysZero) {
+  Rng rng(31);
+  ZipfGenerator zipf(1, 0.5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.next(rng), 0u);
+}
+
+TEST(Rng, HashIsStableAndSensitive) {
+  EXPECT_EQ(Rng::hash("abc"), Rng::hash("abc"));
+  EXPECT_NE(Rng::hash("abc"), Rng::hash("abd"));
+  EXPECT_NE(Rng::hash(""), Rng::hash("a"));
+}
+
+}  // namespace
+}  // namespace pacon::sim

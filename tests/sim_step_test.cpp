@@ -1,0 +1,75 @@
+// Tests for the stepping API and run_task's deadlock detection -- the
+// semantics benches and long-lived regions rely on.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/channel.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+
+namespace pacon::sim {
+namespace {
+
+TEST(Step, DispatchesExactlyOneEvent) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_callback(1, [&] { ++fired; });
+  sim.schedule_callback(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());  // queue empty
+}
+
+TEST(RunTask, CompletesDespiteImmortalBackgroundProcess) {
+  Simulation sim;
+  // A periodic ticker that never terminates (like a region's evictor).
+  sim.spawn([](Simulation& s) -> Task<> {
+    for (;;) co_await s.delay(1_ms);
+  }(sim));
+  const int v = run_task(sim, [](Simulation& s) -> Task<int> {
+    co_await s.delay(10_ms);
+    co_return 99;
+  }(sim));
+  EXPECT_EQ(v, 99);
+  // The clock advanced just past the task, not forever.
+  EXPECT_GE(sim.now(), 10'000'000u);
+  EXPECT_LT(sim.now(), 12'000'000u);
+}
+
+TEST(RunTask, ThrowsOnGenuineDeadlock) {
+  Simulation sim;
+  Gate never(sim);
+  EXPECT_THROW(run_task(sim, [](Gate& g) -> Task<> { co_await g.wait(); }(never)),
+               std::logic_error);
+}
+
+TEST(RunTask, SequentialRunsShareTheClock) {
+  Simulation sim;
+  run_task(sim, [](Simulation& s) -> Task<> { co_await s.delay(5_ms); }(sim));
+  const auto mid = sim.now();
+  run_task(sim, [](Simulation& s) -> Task<> { co_await s.delay(5_ms); }(sim));
+  EXPECT_EQ(sim.now(), mid + 5'000'000u);
+}
+
+TEST(RunTask, LeftoverEventsRemainForLaterRuns) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  // Producer delivers later than the first task cares about.
+  sim.spawn([](Simulation& s, Channel<int>& c) -> Task<> {
+    co_await s.delay(50_ms);
+    (void)co_await c.send(7);
+  }(sim, ch));
+  run_task(sim, [](Simulation& s) -> Task<> { co_await s.delay(1_ms); }(sim));
+  // The producer is still pending; a later consumer gets the value.
+  const int v = run_task(sim, [](Channel<int>& c) -> Task<int> {
+    auto got = co_await c.recv();
+    co_return got.value_or(-1);
+  }(ch));
+  EXPECT_EQ(v, 7);
+}
+
+}  // namespace
+}  // namespace pacon::sim

@@ -1,0 +1,205 @@
+// Tests for awaitable synchronization primitives.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/combinators.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+
+namespace pacon::sim {
+namespace {
+
+TEST(OneShot, GetAfterSetIsImmediate) {
+  Simulation sim;
+  OneShot<int> slot(sim);
+  slot.set(11);
+  const int v = run_task(sim, [](OneShot<int>& s) -> Task<int> { co_return co_await s.get(); }(slot));
+  EXPECT_EQ(v, 11);
+}
+
+TEST(OneShot, WaitersWakeOnSet) {
+  Simulation sim;
+  OneShot<int> slot(sim);
+  std::vector<int> seen;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](OneShot<int>& s, std::vector<int>& out) -> Task<> {
+      out.push_back(co_await s.get());
+    }(slot, seen));
+  }
+  sim.spawn([](Simulation& s, OneShot<int>& slot_ref) -> Task<> {
+    co_await s.delay(5_us);
+    slot_ref.set(7);
+  }(sim, slot));
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<int>{7, 7, 7}));
+}
+
+TEST(Gate, OpenReleasesAllWaiters) {
+  Simulation sim;
+  Gate gate(sim);
+  int released = 0;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn([](Gate& g, int& n) -> Task<> {
+      co_await g.wait();
+      ++n;
+    }(gate, released));
+  }
+  sim.run();
+  EXPECT_EQ(released, 0);
+  gate.open();
+  sim.run();
+  EXPECT_EQ(released, 4);
+}
+
+TEST(Gate, WaitAfterOpenPassesThrough) {
+  Simulation sim;
+  Gate gate(sim);
+  gate.open();
+  run_task(sim, [](Simulation& s, Gate& g) -> Task<> {
+    co_await g.wait();
+    EXPECT_EQ(s.now(), 0u);
+  }(sim, gate));
+}
+
+TEST(Mutex, ProvidesMutualExclusion) {
+  Simulation sim;
+  Mutex mu(sim);
+  int inside = 0;
+  int max_inside = 0;
+  std::vector<Task<>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    sim.spawn([](Simulation& s, Mutex& m, int& in, int& peak) -> Task<> {
+      for (int round = 0; round < 5; ++round) {
+        auto guard = co_await m.scoped_lock();
+        ++in;
+        peak = std::max(peak, in);
+        co_await s.delay(10_us);  // hold across a suspension
+        --in;
+      }
+    }(sim, mu, inside, max_inside));
+  }
+  sim.run();
+  EXPECT_EQ(inside, 0);
+  EXPECT_EQ(max_inside, 1);
+  // 8 processes x 5 rounds x 10us of serialized critical section.
+  EXPECT_EQ(sim.now(), 400'000u);
+}
+
+TEST(Mutex, FifoFairness) {
+  Simulation sim;
+  Mutex mu(sim);
+  std::vector<int> order;
+  run_task(sim, [](Simulation& s, Mutex& m, std::vector<int>& ord) -> Task<> {
+    co_await m.lock();  // hold so contenders queue up
+    std::vector<Task<>> contenders;
+    for (int i = 0; i < 5; ++i) {
+      contenders.push_back([](Mutex& mm, int id, std::vector<int>& o) -> Task<> {
+        auto g = co_await mm.scoped_lock();
+        o.push_back(id);
+      }(m, i, ord));
+    }
+    // Start all contenders; they block in arrival order 0..4.
+    auto joined = when_all(s, std::move(contenders));
+    co_await s.delay(1_us);
+    m.unlock();
+    co_await joined;
+    (void)s;
+  }(sim, mu, order));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  Simulation sim;
+  Semaphore sem(sim, 3);
+  int inside = 0;
+  int peak = 0;
+  for (int i = 0; i < 12; ++i) {
+    sim.spawn([](Simulation& s, Semaphore& sm, int& in, int& pk) -> Task<> {
+      co_await sm.acquire();
+      ++in;
+      pk = std::max(pk, in);
+      co_await s.delay(100_us);
+      --in;
+      sm.release();
+    }(sim, sem, inside, peak));
+  }
+  sim.run();
+  EXPECT_EQ(peak, 3);
+  // 12 jobs, 3 at a time, 100us each -> 4 waves.
+  EXPECT_EQ(sim.now(), 400'000u);
+}
+
+TEST(Semaphore, ReleaseWithoutWaitersRestoresPermit) {
+  Simulation sim;
+  Semaphore sem(sim, 1);
+  run_task(sim, [](Semaphore& s) -> Task<> {
+    co_await s.acquire();
+    s.release();
+    co_await s.acquire();  // must not block
+    s.release();
+  }(sem));
+  EXPECT_EQ(sem.available(), 1u);
+}
+
+TEST(WaitGroup, WaitsForAllDone) {
+  Simulation sim;
+  WaitGroup wg(sim);
+  SimTime done_at = 0;
+  wg.add(3);
+  for (int i = 1; i <= 3; ++i) {
+    sim.spawn([](Simulation& s, WaitGroup& w, int k) -> Task<> {
+      co_await s.delay(static_cast<SimDuration>(k) * 10_us);
+      w.done();
+    }(sim, wg, i));
+  }
+  sim.spawn([](Simulation& s, WaitGroup& w, SimTime& out) -> Task<> {
+    co_await w.wait();
+    out = s.now();
+  }(sim, wg, done_at));
+  sim.run();
+  EXPECT_EQ(done_at, 30'000u);
+}
+
+TEST(WaitGroup, WaitOnZeroPassesThrough) {
+  Simulation sim;
+  WaitGroup wg(sim);
+  run_task(sim, [](WaitGroup& w) -> Task<> { co_await w.wait(); }(wg));
+}
+
+TEST(Barrier, ReleasesWhenAllArrive) {
+  Simulation sim;
+  Barrier barrier(sim, 4);
+  std::vector<SimTime> release_times;
+  for (int i = 1; i <= 4; ++i) {
+    sim.spawn([](Simulation& s, Barrier& b, int k, std::vector<SimTime>& out) -> Task<> {
+      co_await s.delay(static_cast<SimDuration>(k) * 1_us);
+      co_await b.arrive_and_wait();
+      out.push_back(s.now());
+    }(sim, barrier, i, release_times));
+  }
+  sim.run();
+  ASSERT_EQ(release_times.size(), 4u);
+  for (const auto t : release_times) EXPECT_EQ(t, 4'000u);  // last arriver's time
+}
+
+TEST(Barrier, IsReusableAcrossRounds) {
+  Simulation sim;
+  Barrier barrier(sim, 2);
+  std::vector<SimTime> times;
+  for (int p = 0; p < 2; ++p) {
+    sim.spawn([](Simulation& s, Barrier& b, int id, std::vector<SimTime>& out) -> Task<> {
+      for (int round = 1; round <= 3; ++round) {
+        co_await s.delay(static_cast<SimDuration>(id + 1) * 5_us);
+        co_await b.arrive_and_wait();
+        if (id == 0) out.push_back(s.now());
+      }
+    }(sim, barrier, p, times));
+  }
+  sim.run();
+  // Each round is gated by the slower party (10us per round).
+  EXPECT_EQ(times, (std::vector<SimTime>{10'000u, 20'000u, 30'000u}));
+}
+
+}  // namespace
+}  // namespace pacon::sim

@@ -1,0 +1,149 @@
+// Tests for the workload generators (mdtest / MADbench2 / memaslap models)
+// against a real DFS deployment.
+#include <gtest/gtest.h>
+
+#include "harness/testbed.h"
+#include "sim/combinators.h"
+#include "workload/kvload.h"
+#include "workload/madbench.h"
+#include "workload/mdtest.h"
+
+namespace pacon::wl {
+namespace {
+
+using harness::SystemKind;
+using harness::TestBed;
+using harness::TestBedConfig;
+using sim::Task;
+
+std::unique_ptr<TestBed> make_bed(SystemKind kind) {
+  TestBedConfig cfg;
+  cfg.kind = kind;
+  cfg.client_nodes = 2;
+  auto bed = std::make_unique<TestBed>(cfg);
+  bed->provision_workspace("/w", fs::Credentials{1000, 1000});
+  return bed;
+}
+
+TEST(Mdtest, ItemNamesAreMdtestStyle) {
+  EXPECT_EQ(item_name("file.", 3, 17), "file.3.17");
+  EXPECT_EQ(item_name("dir.", 0, 0), "dir.0.0");
+}
+
+TEST(Mdtest, CreatePhaseMakesAllFiles) {
+  auto bed = make_bed(SystemKind::beegfs);
+  auto client = bed->make_client(0, "/w", fs::Credentials{1000, 1000});
+  const auto made = sim::run_task(
+      bed->sim(), mdtest_create_phase(*client, fs::Path::parse("/w"), 2, 50));
+  EXPECT_EQ(made, 50u);
+  // Files exist and are statable.
+  sim::run_task(bed->sim(), [](wl::MetaClient& c) -> Task<> {
+    auto r = co_await c.getattr(fs::Path::parse("/w/file.2.49"));
+    EXPECT_TRUE(r.has_value());
+  }(*client));
+}
+
+TEST(Mdtest, MkdirPhaseMakesAllDirs) {
+  auto bed = make_bed(SystemKind::beegfs);
+  auto client = bed->make_client(0, "/w", fs::Credentials{1000, 1000});
+  const auto made = sim::run_task(
+      bed->sim(), mdtest_mkdir_phase(*client, fs::Path::parse("/w"), 0, 30));
+  EXPECT_EQ(made, 30u);
+}
+
+TEST(Mdtest, StatPhaseHitsOnlyExistingFiles) {
+  auto bed = make_bed(SystemKind::beegfs);
+  auto client = bed->make_client(0, "/w", fs::Credentials{1000, 1000});
+  (void)sim::run_task(bed->sim(),
+                      mdtest_create_phase(*client, fs::Path::parse("/w"), 0, 40));
+  (void)sim::run_task(bed->sim(),
+                      mdtest_create_phase(*client, fs::Path::parse("/w"), 1, 40));
+  const auto hits = sim::run_task(
+      bed->sim(),
+      mdtest_stat_phase(*client, fs::Path::parse("/w"), 2, 40, 200, sim::Rng(7)));
+  EXPECT_EQ(hits, 200u);
+}
+
+TEST(Mdtest, RemovePhaseDeletesOwnFiles) {
+  auto bed = make_bed(SystemKind::beegfs);
+  auto client = bed->make_client(0, "/w", fs::Credentials{1000, 1000});
+  (void)sim::run_task(bed->sim(),
+                      mdtest_create_phase(*client, fs::Path::parse("/w"), 0, 25));
+  const auto removed = sim::run_task(
+      bed->sim(), mdtest_remove_phase(*client, fs::Path::parse("/w"), 0, 25));
+  EXPECT_EQ(removed, 25u);
+  sim::run_task(bed->sim(), [](wl::MetaClient& c) -> Task<> {
+    auto r = co_await c.getattr(fs::Path::parse("/w/file.0.0"));
+    EXPECT_FALSE(r.has_value());
+  }(*client));
+}
+
+TEST(Mdtest, BuildTreeProducesFanoutPowDepthLeaves) {
+  auto bed = make_bed(SystemKind::beegfs);
+  auto client = bed->make_client(0, "/w", fs::Credentials{1000, 1000});
+  const auto leaves =
+      sim::run_task(bed->sim(), build_tree(*client, fs::Path::parse("/w"), 3, 3));
+  EXPECT_EQ(leaves.size(), 27u);  // 3^3
+  for (const auto& leaf : leaves) EXPECT_EQ(leaf.depth(), 4u);  // /w + 3 levels
+  const auto stats = sim::run_task(
+      bed->sim(), random_stat_leaves(*client, leaves, 100, sim::Rng(3)));
+  EXPECT_EQ(stats, 100u);
+}
+
+TEST(Mdtest, PhasesWorkOnEverySystem) {
+  for (const auto kind :
+       {SystemKind::beegfs, SystemKind::indexfs, SystemKind::pacon}) {
+    auto bed = make_bed(kind);
+    auto client = bed->make_client(0, "/w", fs::Credentials{1000, 1000});
+    const auto made = sim::run_task(
+        bed->sim(), mdtest_create_phase(*client, fs::Path::parse("/w"), 0, 20));
+    EXPECT_EQ(made, 20u) << harness::to_string(kind);
+    const auto hits = sim::run_task(
+        bed->sim(),
+        mdtest_stat_phase(*client, fs::Path::parse("/w"), 1, 20, 50, sim::Rng(1)));
+    EXPECT_EQ(hits, 50u) << harness::to_string(kind);
+  }
+}
+
+TEST(Madbench, BreakdownCoversAllPhases) {
+  auto bed = make_bed(SystemKind::beegfs);
+  auto client = bed->make_client(0, "/w", fs::Credentials{1000, 1000});
+  MadbenchConfig cfg;
+  cfg.base = fs::Path::parse("/w");
+  cfg.file_bytes = 1 << 20;
+  cfg.io_rounds = 2;
+  const auto b = sim::run_task(bed->sim(),
+                               madbench_process(bed->sim(), *client, cfg, 0));
+  EXPECT_GT(b.init, 0u);
+  EXPECT_GT(b.write, 0u);
+  EXPECT_GT(b.read, 0u);
+  // Compute: 2 rounds x 20ms.
+  EXPECT_EQ(b.other, 40'000'000u);
+  EXPECT_EQ(b.total(), b.init + b.write + b.read + b.other);
+}
+
+TEST(Madbench, DataPhasesDominateRuntime) {
+  auto bed = make_bed(SystemKind::beegfs);
+  auto client = bed->make_client(0, "/w", fs::Credentials{1000, 1000});
+  MadbenchConfig cfg;
+  cfg.base = fs::Path::parse("/w");
+  const auto b = sim::run_task(bed->sim(),
+                               madbench_process(bed->sim(), *client, cfg, 0));
+  EXPECT_LT(static_cast<double>(b.init), 0.1 * static_cast<double>(b.total()));
+}
+
+TEST(KvLoad, InsertLoadAllAccepted) {
+  sim::Simulation sim;
+  net::Fabric fabric(sim, net::FabricConfig{});
+  kv::MemCacheCluster cluster(sim, fabric);
+  cluster.add_server(net::NodeId{0});
+  cluster.add_server(net::NodeId{1});
+  KvLoadConfig cfg;
+  cfg.ops = 500;
+  const auto ok = sim::run_task(sim, kv_insert_load(cluster, net::NodeId{0}, cfg));
+  EXPECT_EQ(ok, 500u);
+  EXPECT_EQ(cluster.total_items(), 500u);
+}
+
+}  // namespace
+}  // namespace pacon::wl
