@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_async_commit.dir/abl_async_commit.cpp.o"
+  "CMakeFiles/abl_async_commit.dir/abl_async_commit.cpp.o.d"
+  "abl_async_commit"
+  "abl_async_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_async_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_batch_permission.dir/abl_batch_permission.cpp.o"
+  "CMakeFiles/abl_batch_permission.dir/abl_batch_permission.cpp.o.d"
+  "abl_batch_permission"
+  "abl_batch_permission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_batch_permission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_batch_permission.
+# This may be replaced when dependencies are built.

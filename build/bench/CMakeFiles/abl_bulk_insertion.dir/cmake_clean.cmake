@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bulk_insertion.dir/abl_bulk_insertion.cpp.o"
+  "CMakeFiles/abl_bulk_insertion.dir/abl_bulk_insertion.cpp.o.d"
+  "abl_bulk_insertion"
+  "abl_bulk_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bulk_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

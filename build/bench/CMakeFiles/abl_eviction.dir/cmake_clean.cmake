@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_eviction.dir/abl_eviction.cpp.o"
+  "CMakeFiles/abl_eviction.dir/abl_eviction.cpp.o.d"
+  "abl_eviction"
+  "abl_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

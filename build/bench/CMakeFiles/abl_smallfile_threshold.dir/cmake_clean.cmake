@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_smallfile_threshold.dir/abl_smallfile_threshold.cpp.o"
+  "CMakeFiles/abl_smallfile_threshold.dir/abl_smallfile_threshold.cpp.o.d"
+  "abl_smallfile_threshold"
+  "abl_smallfile_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_smallfile_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

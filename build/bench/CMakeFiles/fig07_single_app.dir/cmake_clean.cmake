@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_single_app.dir/fig07_single_app.cpp.o"
+  "CMakeFiles/fig07_single_app.dir/fig07_single_app.cpp.o.d"
+  "fig07_single_app"
+  "fig07_single_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_single_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

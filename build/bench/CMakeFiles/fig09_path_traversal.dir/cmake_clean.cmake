@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_path_traversal.dir/fig09_path_traversal.cpp.o"
+  "CMakeFiles/fig09_path_traversal.dir/fig09_path_traversal.cpp.o.d"
+  "fig09_path_traversal"
+  "fig09_path_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_path_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_madbench.dir/fig12_madbench.cpp.o"
+  "CMakeFiles/fig12_madbench.dir/fig12_madbench.cpp.o.d"
+  "fig12_madbench"
+  "fig12_madbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_madbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_op_semantics.dir/table1_op_semantics.cpp.o"
+  "CMakeFiles/table1_op_semantics.dir/table1_op_semantics.cpp.o.d"
+  "table1_op_semantics"
+  "table1_op_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_op_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/data_sharing.cpp" "examples/CMakeFiles/data_sharing.dir/data_sharing.cpp.o" "gcc" "examples/CMakeFiles/data_sharing.dir/data_sharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/pacon_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/indexfs/CMakeFiles/pacon_indexfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/pacon_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pacon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/pacon_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pacon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/pacon_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/pacon_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pacon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

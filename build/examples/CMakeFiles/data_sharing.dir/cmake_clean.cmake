@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_sharing.dir/data_sharing.cpp.o"
+  "CMakeFiles/data_sharing.dir/data_sharing.cpp.o.d"
+  "data_sharing"
+  "data_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madbench_app.dir/madbench_app.cpp.o"
+  "CMakeFiles/madbench_app.dir/madbench_app.cpp.o.d"
+  "madbench_app"
+  "madbench_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madbench_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_checkpoint.dir/nn_checkpoint.cpp.o"
+  "CMakeFiles/nn_checkpoint.dir/nn_checkpoint.cpp.o.d"
+  "nn_checkpoint"
+  "nn_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

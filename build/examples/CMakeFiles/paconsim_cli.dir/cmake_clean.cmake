@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paconsim_cli.dir/paconsim_cli.cpp.o"
+  "CMakeFiles/paconsim_cli.dir/paconsim_cli.cpp.o.d"
+  "paconsim_cli"
+  "paconsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paconsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/consistency_check.cpp" "src/core/CMakeFiles/pacon_core.dir/consistency_check.cpp.o" "gcc" "src/core/CMakeFiles/pacon_core.dir/consistency_check.cpp.o.d"
+  "/root/repo/src/core/pacon.cpp" "src/core/CMakeFiles/pacon_core.dir/pacon.cpp.o" "gcc" "src/core/CMakeFiles/pacon_core.dir/pacon.cpp.o.d"
+  "/root/repo/src/core/region.cpp" "src/core/CMakeFiles/pacon_core.dir/region.cpp.o" "gcc" "src/core/CMakeFiles/pacon_core.dir/region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pacon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/pacon_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/pacon_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/pacon_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacon_core.dir/consistency_check.cpp.o"
+  "CMakeFiles/pacon_core.dir/consistency_check.cpp.o.d"
+  "CMakeFiles/pacon_core.dir/pacon.cpp.o"
+  "CMakeFiles/pacon_core.dir/pacon.cpp.o.d"
+  "CMakeFiles/pacon_core.dir/region.cpp.o"
+  "CMakeFiles/pacon_core.dir/region.cpp.o.d"
+  "libpacon_core.a"
+  "libpacon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/client.cpp" "src/dfs/CMakeFiles/pacon_dfs.dir/client.cpp.o" "gcc" "src/dfs/CMakeFiles/pacon_dfs.dir/client.cpp.o.d"
+  "/root/repo/src/dfs/cluster.cpp" "src/dfs/CMakeFiles/pacon_dfs.dir/cluster.cpp.o" "gcc" "src/dfs/CMakeFiles/pacon_dfs.dir/cluster.cpp.o.d"
+  "/root/repo/src/dfs/meta_server.cpp" "src/dfs/CMakeFiles/pacon_dfs.dir/meta_server.cpp.o" "gcc" "src/dfs/CMakeFiles/pacon_dfs.dir/meta_server.cpp.o.d"
+  "/root/repo/src/dfs/storage_server.cpp" "src/dfs/CMakeFiles/pacon_dfs.dir/storage_server.cpp.o" "gcc" "src/dfs/CMakeFiles/pacon_dfs.dir/storage_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pacon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/pacon_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacon_dfs.dir/client.cpp.o"
+  "CMakeFiles/pacon_dfs.dir/client.cpp.o.d"
+  "CMakeFiles/pacon_dfs.dir/cluster.cpp.o"
+  "CMakeFiles/pacon_dfs.dir/cluster.cpp.o.d"
+  "CMakeFiles/pacon_dfs.dir/meta_server.cpp.o"
+  "CMakeFiles/pacon_dfs.dir/meta_server.cpp.o.d"
+  "CMakeFiles/pacon_dfs.dir/storage_server.cpp.o"
+  "CMakeFiles/pacon_dfs.dir/storage_server.cpp.o.d"
+  "libpacon_dfs.a"
+  "libpacon_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacon_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacon_fs.dir/path.cpp.o"
+  "CMakeFiles/pacon_fs.dir/path.cpp.o.d"
+  "libpacon_fs.a"
+  "libpacon_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacon_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

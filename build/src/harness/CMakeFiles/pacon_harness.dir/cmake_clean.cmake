@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacon_harness.dir/experiment.cpp.o"
+  "CMakeFiles/pacon_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/pacon_harness.dir/testbed.cpp.o"
+  "CMakeFiles/pacon_harness.dir/testbed.cpp.o.d"
+  "libpacon_harness.a"
+  "libpacon_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacon_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacon_indexfs.dir/client.cpp.o"
+  "CMakeFiles/pacon_indexfs.dir/client.cpp.o.d"
+  "CMakeFiles/pacon_indexfs.dir/indexfs.cpp.o"
+  "CMakeFiles/pacon_indexfs.dir/indexfs.cpp.o.d"
+  "libpacon_indexfs.a"
+  "libpacon_indexfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacon_indexfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpacon_indexfs.a"
+)

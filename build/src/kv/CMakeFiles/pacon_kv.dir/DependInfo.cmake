@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/hash_ring.cpp" "src/kv/CMakeFiles/pacon_kv.dir/hash_ring.cpp.o" "gcc" "src/kv/CMakeFiles/pacon_kv.dir/hash_ring.cpp.o.d"
+  "/root/repo/src/kv/memcache.cpp" "src/kv/CMakeFiles/pacon_kv.dir/memcache.cpp.o" "gcc" "src/kv/CMakeFiles/pacon_kv.dir/memcache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pacon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacon_kv.dir/hash_ring.cpp.o"
+  "CMakeFiles/pacon_kv.dir/hash_ring.cpp.o.d"
+  "CMakeFiles/pacon_kv.dir/memcache.cpp.o"
+  "CMakeFiles/pacon_kv.dir/memcache.cpp.o.d"
+  "libpacon_kv.a"
+  "libpacon_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacon_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

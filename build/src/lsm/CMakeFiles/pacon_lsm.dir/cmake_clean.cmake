@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacon_lsm.dir/lsm.cpp.o"
+  "CMakeFiles/pacon_lsm.dir/lsm.cpp.o.d"
+  "libpacon_lsm.a"
+  "libpacon_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacon_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacon_sim.dir/metrics.cpp.o"
+  "CMakeFiles/pacon_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/pacon_sim.dir/random.cpp.o"
+  "CMakeFiles/pacon_sim.dir/random.cpp.o.d"
+  "CMakeFiles/pacon_sim.dir/simulation.cpp.o"
+  "CMakeFiles/pacon_sim.dir/simulation.cpp.o.d"
+  "libpacon_sim.a"
+  "libpacon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/kvload.cpp" "src/workload/CMakeFiles/pacon_workload.dir/kvload.cpp.o" "gcc" "src/workload/CMakeFiles/pacon_workload.dir/kvload.cpp.o.d"
+  "/root/repo/src/workload/madbench.cpp" "src/workload/CMakeFiles/pacon_workload.dir/madbench.cpp.o" "gcc" "src/workload/CMakeFiles/pacon_workload.dir/madbench.cpp.o.d"
+  "/root/repo/src/workload/mdtest.cpp" "src/workload/CMakeFiles/pacon_workload.dir/mdtest.cpp.o" "gcc" "src/workload/CMakeFiles/pacon_workload.dir/mdtest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pacon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/pacon_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/pacon_kv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacon_workload.dir/kvload.cpp.o"
+  "CMakeFiles/pacon_workload.dir/kvload.cpp.o.d"
+  "CMakeFiles/pacon_workload.dir/madbench.cpp.o"
+  "CMakeFiles/pacon_workload.dir/madbench.cpp.o.d"
+  "CMakeFiles/pacon_workload.dir/mdtest.cpp.o"
+  "CMakeFiles/pacon_workload.dir/mdtest.cpp.o.d"
+  "libpacon_workload.a"
+  "libpacon_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacon_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

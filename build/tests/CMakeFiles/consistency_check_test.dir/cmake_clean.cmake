@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_check_test.dir/consistency_check_test.cpp.o"
+  "CMakeFiles/consistency_check_test.dir/consistency_check_test.cpp.o.d"
+  "consistency_check_test"
+  "consistency_check_test.pdb"
+  "consistency_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

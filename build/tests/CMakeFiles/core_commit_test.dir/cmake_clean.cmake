@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_commit_test.dir/core_commit_test.cpp.o"
+  "CMakeFiles/core_commit_test.dir/core_commit_test.cpp.o.d"
+  "core_commit_test"
+  "core_commit_test.pdb"
+  "core_commit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_commit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

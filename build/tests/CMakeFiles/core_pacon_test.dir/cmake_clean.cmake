@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pacon_test.dir/core_pacon_test.cpp.o"
+  "CMakeFiles/core_pacon_test.dir/core_pacon_test.cpp.o.d"
+  "core_pacon_test"
+  "core_pacon_test.pdb"
+  "core_pacon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pacon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

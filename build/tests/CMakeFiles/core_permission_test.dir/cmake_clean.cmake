@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_permission_test.dir/core_permission_test.cpp.o"
+  "CMakeFiles/core_permission_test.dir/core_permission_test.cpp.o.d"
+  "core_permission_test"
+  "core_permission_test.pdb"
+  "core_permission_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_permission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_path_test.dir/fs_path_test.cpp.o"
+  "CMakeFiles/fs_path_test.dir/fs_path_test.cpp.o.d"
+  "fs_path_test"
+  "fs_path_test.pdb"
+  "fs_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/indexfs_property_test.cpp" "tests/CMakeFiles/indexfs_property_test.dir/indexfs_property_test.cpp.o" "gcc" "tests/CMakeFiles/indexfs_property_test.dir/indexfs_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/indexfs/CMakeFiles/pacon_indexfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/pacon_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/pacon_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pacon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexfs_property_test.dir/indexfs_property_test.cpp.o"
+  "CMakeFiles/indexfs_property_test.dir/indexfs_property_test.cpp.o.d"
+  "indexfs_property_test"
+  "indexfs_property_test.pdb"
+  "indexfs_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexfs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexfs_test.dir/indexfs_test.cpp.o"
+  "CMakeFiles/indexfs_test.dir/indexfs_test.cpp.o.d"
+  "indexfs_test"
+  "indexfs_test.pdb"
+  "indexfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

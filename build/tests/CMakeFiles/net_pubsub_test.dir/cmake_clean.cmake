@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_pubsub_test.dir/net_pubsub_test.cpp.o"
+  "CMakeFiles/net_pubsub_test.dir/net_pubsub_test.cpp.o.d"
+  "net_pubsub_test"
+  "net_pubsub_test.pdb"
+  "net_pubsub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_pubsub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_channel_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_random_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/net_rpc_test[1]_include.cmake")
+include("/root/repo/build/tests/net_pubsub_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_path_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_memcache_test[1]_include.cmake")
+include("/root/repo/build/tests/lsm_store_test[1]_include.cmake")
+include("/root/repo/build/tests/dfs_test[1]_include.cmake")
+include("/root/repo/build/tests/indexfs_test[1]_include.cmake")
+include("/root/repo/build/tests/core_pacon_test[1]_include.cmake")
+include("/root/repo/build/tests/core_commit_test[1]_include.cmake")
+include("/root/repo/build/tests/core_permission_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/core_units_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/indexfs_property_test[1]_include.cmake")
+include("/root/repo/build/tests/dfs_storage_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_step_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_check_test[1]_include.cmake")
+include("/root/repo/build/tests/calibration_regression_test[1]_include.cmake")
