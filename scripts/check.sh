@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Full correctness gate: sim-rules lint, clang-tidy (when available), then
+# the sanitizer matrix -- ASan+UBSan and TSan builds with -Werror and the
+# coroutine-lifetime detector compiled in, each running the entire ctest
+# suite (including the coroutine-detector unit tests and the determinism
+# checker). See DESIGN.md "Correctness tooling".
+#
+# Usage: scripts/check.sh [--fast] [--jobs N]
+#   --fast   only the ASan+UBSan leg of the matrix (half the wall clock)
+#   --jobs N parallel build/test jobs (default: nproc)
+#
+# Build trees land in build-check-<mode>/ and are reused incrementally on
+# re-runs, so the second invocation is much cheaper than the first.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc)"
+modes=(address thread)
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --fast) modes=(address); shift ;;
+    --jobs) jobs="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+echo "==== [1/3] sim-rules lint ===================================================="
+"$root/scripts/lint_sim_rules.sh" "$root"
+
+echo "==== [2/3] clang-tidy ========================================================"
+"$root/scripts/tidy.sh"
+
+echo "==== [3/3] sanitizer matrix: ${modes[*]} ====="
+for mode in "${modes[@]}"; do
+  build="$root/build-check-$mode"
+  echo "---- PACON_SANITIZE=$mode: configure ($build)"
+  cmake -B "$build" -S "$root" -G Ninja \
+    -DPACON_SANITIZE="$mode" \
+    -DPACON_WERROR=ON \
+    -DPACON_DEBUG_COROS=ON >/dev/null
+  echo "---- PACON_SANITIZE=$mode: build"
+  cmake --build "$build" -j "$jobs"
+  echo "---- PACON_SANITIZE=$mode: ctest"
+  # Timeouts matter: protocol bugs in this codebase hang rather than fail.
+  # halt_on_error: a sanitizer report must fail the test, not just print.
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$build" --output-on-failure --timeout 300 -j "$jobs"
+done
+
+echo "check.sh: all gates passed (lint, tidy, sanitizer matrix: ${modes[*]})"

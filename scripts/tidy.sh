@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# clang-tidy runner for the statically-analysed subset (src/core, src/sim,
+# src/debug), using the checks in .clang-tidy.
+#
+# The CI container does not always ship clang-tidy; in that case this script
+# prints a notice and exits 0 so scripts/check.sh stays green (the sanitizer
+# matrix and the sim-rules lint still gate the build). Run it locally from a
+# machine with LLVM installed for the full profile.
+#
+# Usage: scripts/tidy.sh [build-dir]
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build}"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "$tidy_bin" ]]; then
+  for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      tidy_bin="$cand"
+      break
+    fi
+  done
+fi
+if [[ -z "$tidy_bin" ]]; then
+  echo "tidy: clang-tidy not found on PATH; skipping (install LLVM or set CLANG_TIDY)" >&2
+  exit 0
+fi
+
+if [[ ! -f "$build/compile_commands.json" ]]; then
+  echo "tidy: generating compile_commands.json in $build"
+  cmake -B "$build" -S "$root" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+files=$(find "$root/src/core" "$root/src/sim" "$root/src/debug" -name '*.cpp' | sort)
+echo "tidy: running $tidy_bin over:"
+echo "$files" | sed 's/^/  /'
+# shellcheck disable=SC2086
+"$tidy_bin" -p "$build" --quiet $files
+echo "tidy: clean"

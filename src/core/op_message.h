@@ -29,7 +29,26 @@ struct OpMessage {
   /// Region-wide client id of the publisher.
   std::uint32_t client_id = 0;
   sim::SimTime timestamp = 0;
+  /// Region-unique id assigned at publish time (0 = never published). Keys
+  /// the determinism trace so same-seed runs can be compared op-by-op.
+  std::uint64_t op_id = 0;
 };
+
+constexpr const char* to_string(OpMessage::Kind kind) {
+  switch (kind) {
+    case OpMessage::Kind::mkdir:
+      return "mkdir";
+    case OpMessage::Kind::create:
+      return "create";
+    case OpMessage::Kind::remove:
+      return "remove";
+    case OpMessage::Kind::write_data:
+      return "write_data";
+    case OpMessage::Kind::barrier:
+      return "barrier";
+  }
+  return "unknown";
+}
 
 constexpr bool is_barrier(const OpMessage& m) { return m.kind == OpMessage::Kind::barrier; }
 

@@ -80,7 +80,19 @@ void ConsistentRegion::pending_decrement(const std::string& path) {
   if (pending_total_ > 0 && --pending_total_ == 0) drained_gate_.open();
 }
 
-ConsistentRegion::~ConsistentRegion() { stop_evictor_ = true; }
+ConsistentRegion::~ConsistentRegion() {
+  stop_evictor_ = true;
+  // Shut the commit pipeline down cleanly: unsubscribing and closing each
+  // stage's channel dequeues the blocked sorter/committer/retry loops, so no
+  // loop is left parked in the wait queue of a destructed channel. If the
+  // simulation keeps running, the woken loops observe end-of-stream and
+  // exit; at teardown the kernel reclaims them either way.
+  for (auto& node : node_states_) {
+    bus_->unsubscribe(node_topic(node->node), node->queue);
+    node->ordered->close();
+    node->retry_queue->close();
+  }
+}
 
 std::string ConsistentRegion::node_topic(net::NodeId node) const {
   return config_.root.str() + "#" + std::to_string(node.value);
@@ -176,9 +188,15 @@ void ConsistentRegion::publish(std::uint32_t client, OpMessage msg) {
   msg.client_id = client;
   msg.epoch = client_epochs_.at(client);
   msg.timestamp = sim_.now();
+  msg.op_id = ++next_op_id_;
   if (!is_barrier(msg)) {
     ++pending_by_path_[msg.path];
     ++pending_total_;
+  }
+  if (sim_.tracing()) {
+    sim_.trace_note("publish op=" + std::to_string(msg.op_id) + " kind=" +
+                    to_string(msg.kind) + " path=" + msg.path + " epoch=" +
+                    std::to_string(msg.epoch) + " client=" + std::to_string(client));
   }
   bus_->publish(home->node, node_topic(home->node), msg);
 }
@@ -348,6 +366,7 @@ sim::Task<std::uint64_t> ConsistentRegion::run_barrier(net::NodeId from) {
   }
   ++barriers_run_;
   co_await epochs_.wait_all_drained(e);
+  if (sim_.tracing()) sim_.trace_note("barrier-drained epoch=" + std::to_string(e));
   co_return e;
 }
 
@@ -579,7 +598,15 @@ sim::Task<bool> ConsistentRegion::apply_and_account(NodeState& node, const OpMes
     // exists = an idempotent replay (e.g. recovery re-commit); accept.
     ++committed_ops_;
     pending_decrement(msg.path);
+    if (sim_.tracing()) {
+      sim_.trace_note("commit op=" + std::to_string(msg.op_id) + " kind=" +
+                      to_string(msg.kind) + " path=" + msg.path + " node=" +
+                      std::to_string(node.node.value));
+    }
     co_return true;
+  }
+  if (sim_.tracing()) {
+    sim_.trace_note("commit-retry op=" + std::to_string(msg.op_id) + " path=" + msg.path);
   }
   co_return false;
 }

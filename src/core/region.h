@@ -255,6 +255,7 @@ class ConsistentRegion {
   bool stop_evictor_ = false;
 
   std::uint64_t next_checkpoint_id_ = 1;
+  std::uint64_t next_op_id_ = 0;
   std::uint32_t next_client_id_ = 0;
   std::uint64_t committed_ops_ = 0;
   std::uint64_t invalidation_epoch_ = 0;

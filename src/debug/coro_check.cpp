@@ -1,0 +1,248 @@
+#include "debug/coro_check.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace pacon::debug {
+
+namespace {
+
+CoroReportHandler& handler_slot() {
+  static CoroReportHandler handler;
+  return handler;
+}
+
+[[maybe_unused]] void default_handler(const CoroReport& report) {
+  std::fprintf(stderr, "pacon coroutine-lifetime violation: %s (coro #%llu%s%s): %s\n",
+               to_string(report.kind), static_cast<unsigned long long>(report.coro_id),
+               report.tag.empty() ? "" : ", ", report.tag.c_str(), report.detail.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[maybe_unused]] void emit(CoroReport report) {
+  if (handler_slot()) {
+    handler_slot()(report);
+    return;
+  }
+  default_handler(report);
+}
+
+}  // namespace
+
+const char* to_string(CoroViolation v) {
+  switch (v) {
+    case CoroViolation::double_schedule:
+      return "double-schedule";
+    case CoroViolation::schedule_after_done:
+      return "schedule-after-done";
+    case CoroViolation::schedule_after_destroy:
+      return "schedule-after-destroy";
+    case CoroViolation::resume_after_done:
+      return "resume-after-done";
+    case CoroViolation::resume_after_destroy:
+      return "resume-after-destroy";
+    case CoroViolation::reentrant_resume:
+      return "reentrant-resume";
+    case CoroViolation::await_dead_primitive:
+      return "await-dead-primitive";
+    case CoroViolation::primitive_destroyed_with_waiters:
+      return "primitive-destroyed-with-waiters";
+    case CoroViolation::leak_at_teardown:
+      return "leak-at-teardown";
+  }
+  return "unknown";
+}
+
+void set_coro_report_handler(CoroReportHandler handler) {
+  handler_slot() = std::move(handler);
+}
+
+#if PACON_DEBUG_COROS
+
+namespace {
+
+enum class FrameState : std::uint8_t { created, running, suspended, done };
+
+struct FrameRecord {
+  std::uint64_t id = 0;
+  std::string tag;
+  FrameState state = FrameState::created;
+  /// Wakeups queued in some kernel but not yet delivered. Exactly one per
+  /// suspension is legal; a second is a guaranteed future double-resume.
+  std::uint32_t pending_resumes = 0;
+  /// Simulation whose kernel first scheduled this frame (teardown scope).
+  const void* sim = nullptr;
+};
+
+struct Registry {
+  std::unordered_map<const void*, FrameRecord> frames;
+  std::uint64_t next_id = 1;
+};
+
+Registry& registry() {
+  static Registry reg;
+  return reg;
+}
+
+void emit_for(const void* frame, const FrameRecord* rec, CoroViolation kind,
+              std::string detail) {
+  (void)frame;
+  CoroReport report;
+  report.kind = kind;
+  if (rec != nullptr) {
+    report.coro_id = rec->id;
+    report.tag = rec->tag;
+  }
+  report.detail = std::move(detail);
+  emit(std::move(report));
+}
+
+}  // namespace
+
+void coro_created(const void* frame) {
+  Registry& reg = registry();
+  // Frame allocators reuse addresses; a fresh creation supersedes whatever
+  // record a long-gone frame left at this address.
+  FrameRecord rec;
+  rec.id = reg.next_id++;
+  reg.frames[frame] = std::move(rec);
+}
+
+void coro_tag(const void* frame, std::string tag) {
+  auto it = registry().frames.find(frame);
+  if (it != registry().frames.end()) it->second.tag = std::move(tag);
+}
+
+void coro_scheduled(const void* frame, const void* sim) {
+  Registry& reg = registry();
+  auto it = reg.frames.find(frame);
+  if (it == reg.frames.end()) {
+    emit_for(frame, nullptr, CoroViolation::schedule_after_destroy,
+             "a wakeup was queued for a coroutine frame that is not alive "
+             "(destroyed, or never registered)");
+    return;
+  }
+  FrameRecord& rec = it->second;
+  if (rec.sim == nullptr) rec.sim = sim;
+  if (rec.state == FrameState::done) {
+    emit_for(frame, &rec, CoroViolation::schedule_after_done,
+             "a wakeup was queued for a coroutine that already ran to "
+             "completion; dispatching it would resume a finished frame");
+    return;
+  }
+  ++rec.pending_resumes;
+  if (rec.pending_resumes > 1) {
+    emit_for(frame, &rec, CoroViolation::double_schedule,
+             "two wakeups queued for one suspension point (" +
+                 std::to_string(rec.pending_resumes) +
+                 " pending); the second resume would hit a frame that "
+                 "already moved on");
+  }
+}
+
+void coro_resuming(const void* frame) {
+  Registry& reg = registry();
+  auto it = reg.frames.find(frame);
+  if (it == reg.frames.end()) {
+    emit_for(frame, nullptr, CoroViolation::resume_after_destroy,
+             "the kernel is resuming a coroutine frame that is not alive "
+             "(destroyed, or never registered)");
+    return;
+  }
+  FrameRecord& rec = it->second;
+  if (rec.pending_resumes > 0) --rec.pending_resumes;
+  switch (rec.state) {
+    case FrameState::done:
+      emit_for(frame, &rec, CoroViolation::resume_after_done,
+               "resuming a coroutine that already ran to completion");
+      return;
+    case FrameState::running:
+      emit_for(frame, &rec, CoroViolation::reentrant_resume,
+               "resuming a coroutine that is currently executing");
+      return;
+    case FrameState::created:
+    case FrameState::suspended:
+      rec.state = FrameState::running;
+      return;
+  }
+}
+
+void coro_suspend_point(const void* frame) {
+  auto it = registry().frames.find(frame);
+  if (it == registry().frames.end()) return;  // completed & self-destroyed
+  if (it->second.state == FrameState::running) it->second.state = FrameState::suspended;
+}
+
+void coro_done(const void* frame) {
+  auto it = registry().frames.find(frame);
+  if (it != registry().frames.end()) it->second.state = FrameState::done;
+}
+
+void coro_destroyed(const void* frame) {
+  // Erase instead of marking: live-frame memory is bounded, and a recycled
+  // address re-registers through coro_created before any legal resume.
+  registry().frames.erase(frame);
+}
+
+void sim_teardown(const void* sim) {
+  Registry& reg = registry();
+  std::vector<const FrameRecord*> leaked;
+  for (const auto& [frame, rec] : reg.frames) {
+    if (rec.sim == sim && rec.state != FrameState::done) leaked.push_back(&rec);
+  }
+  // Deterministic report order regardless of hash-map iteration.
+  std::sort(leaked.begin(), leaked.end(),
+            [](const FrameRecord* a, const FrameRecord* b) { return a->id < b->id; });
+  for (const FrameRecord* rec : leaked) {
+    emit_for(nullptr, rec, CoroViolation::leak_at_teardown,
+             "coroutine still alive after Simulation teardown; its frame is "
+             "unowned and will never be resumed or destroyed");
+  }
+}
+
+void waiter_abandoned(const char* primitive, const void* frame) {
+  auto it = registry().frames.find(frame);
+  if (it == registry().frames.end()) return;  // frame already reclaimed: benign
+  if (it->second.state == FrameState::done) return;
+  emit_for(frame, &it->second, CoroViolation::primitive_destroyed_with_waiters,
+           std::string(primitive) +
+               " destroyed while a live coroutine still waits on it; the "
+               "waiter can never be woken");
+}
+
+std::size_t live_coro_count() {
+  std::size_t n = 0;
+  for (const auto& [frame, rec] : registry().frames) {
+    if (rec.state != FrameState::done) ++n;
+  }
+  return n;
+}
+
+bool AwaitableCanary::check_alive(const void* awaiting_frame) const {
+  if (magic_ == kAlive) return true;
+  const bool recognizable = magic_ == kDead;
+  CoroReport report;
+  report.kind = CoroViolation::await_dead_primitive;
+  if (awaiting_frame != nullptr) {
+    auto it = registry().frames.find(awaiting_frame);
+    if (it != registry().frames.end()) {
+      report.coro_id = it->second.id;
+      report.tag = it->second.tag;
+    }
+  }
+  report.detail = recognizable
+                      ? std::string("co_await on a destroyed ") + type_
+                      : "co_await on a primitive whose memory was destroyed and "
+                        "reused (canary clobbered)";
+  emit(std::move(report));
+  return false;
+}
+
+#endif  // PACON_DEBUG_COROS
+
+}  // namespace pacon::debug

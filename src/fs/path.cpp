@@ -2,6 +2,12 @@
 
 #include <algorithm>
 
+// GCC 12's -Wrestrict misfires on the inlined std::string append in parse()
+// at -O2 (GCC PR105651); nothing here aliases.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
 namespace pacon::fs {
 namespace {
 

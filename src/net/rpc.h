@@ -68,6 +68,9 @@ class RpcService {
   }
   RpcService(const RpcService&) = delete;
   RpcService& operator=(const RpcService&) = delete;
+  /// Closing the inbox dequeues parked worker loops; without this they would
+  /// be left in the wait queue of a destructed channel.
+  ~RpcService() { shutdown(); }
 
   NodeId node() const { return self_; }
 

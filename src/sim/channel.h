@@ -16,6 +16,7 @@
 #include <limits>
 #include <optional>
 
+#include "debug/coro_check.h"
 #include "sim/simulation.h"
 
 namespace pacon::sim {
@@ -30,6 +31,14 @@ class Channel {
   }
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
+  ~Channel() {
+    for (const RecvAwaiter* r : recv_waiters_) {
+      debug::waiter_abandoned("Channel (receiver)", r->handle.address());
+    }
+    for (const SendAwaiter* s : send_waiters_) {
+      debug::waiter_abandoned("Channel (sender)", s->handle.address());
+    }
+  }
 
   std::size_t size() const { return items_.size(); }
   bool empty() const { return items_.empty(); }
@@ -91,6 +100,12 @@ class Channel {
     bool completed = false;
 
     bool await_ready() {
+      if (!ch.canary_.check_alive()) {
+        // Dead channel: resolve like close-and-drained without touching its
+        // destructed state (the report already fired, aborting by default).
+        completed = true;
+        return true;
+      }
       if (auto item = ch.try_recv()) {
         result = std::move(item);
         completed = true;
@@ -120,6 +135,11 @@ class Channel {
     bool completed = false;
 
     bool await_ready() {
+      if (!ch.canary_.check_alive()) {
+        accepted = false;
+        completed = true;
+        return true;
+      }
       if (ch.try_send(value)) {
         accepted = true;
         completed = true;
@@ -170,6 +190,7 @@ class Channel {
   std::deque<T> items_;
   std::deque<RecvAwaiter*> recv_waiters_;
   std::deque<SendAwaiter*> send_waiters_;
+  debug::AwaitableCanary canary_{"Channel"};
 };
 
 }  // namespace pacon::sim

@@ -1,14 +1,26 @@
 #include "sim/simulation.h"
 
+#include <string>
+
 namespace pacon::sim {
 
 Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
 
-Simulation::~Simulation() = default;
+Simulation::~Simulation() {
+  // Teardown order matters for the coroutine-lifetime check: discard queued
+  // wakeups, reclaim owned root frames (their Task destructors cascade into
+  // nested frames), then audit for unowned frames this kernel scheduled that
+  // nobody reclaimed.
+  queue_ = {};
+  roots_.clear();
+  debug::sim_teardown(this);
+}
 
-void Simulation::spawn_at(SimTime at, Task<> process) {
+void Simulation::spawn_at(SimTime at, Task<> process, std::source_location loc) {
   assert(at >= now_);
   assert(process.valid());
+  debug::coro_tag(process.raw_handle().address(),
+                  std::string(loc.file_name()) + ":" + std::to_string(loc.line()));
   roots_.push_back(std::move(process));
   // The kernel retains ownership: completed frames park at their final
   // suspension point and frames still blocked on channels at teardown are
@@ -19,6 +31,7 @@ void Simulation::spawn_at(SimTime at, Task<> process) {
 void Simulation::schedule(SimTime at, std::coroutine_handle<> h) {
   assert(at >= now_);
   assert(h);
+  debug::coro_scheduled(h.address(), this);
   queue_.push(Event{at, next_seq_++, h, nullptr});
 }
 
@@ -30,9 +43,13 @@ void Simulation::schedule_callback(SimTime at, std::function<void()> fn) {
 
 void Simulation::dispatch(Event& ev) {
   now_ = ev.at;
+  current_event_seq_ = ev.seq;
   ++events_processed_;
+  if (trace_hook_) trace_hook_(TraceRecord{trace_index_++, ev.at, ev.seq, {}});
   if (ev.handle) {
+    debug::coro_resuming(ev.handle.address());
     ev.handle.resume();
+    debug::coro_suspend_point(ev.handle.address());
   } else {
     ev.callback();
   }

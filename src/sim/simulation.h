@@ -16,9 +16,13 @@
 #include <functional>
 #include <optional>
 #include <queue>
+#include <source_location>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "debug/coro_check.h"
 #include "sim/metrics.h"
 #include "sim/random.h"
 #include "sim/task.h"
@@ -43,11 +47,17 @@ class Simulation {
   MetricRegistry& metrics() { return metrics_; }
 
   /// Starts a root process at the current virtual time. The kernel keeps the
-  /// coroutine frame alive until the Simulation is destroyed.
-  void spawn(Task<> process) { spawn_at(now_, std::move(process)); }
+  /// coroutine frame alive until the Simulation is destroyed. The implicit
+  /// source location becomes the process's creation-site tag in
+  /// coroutine-lifetime reports (PACON_DEBUG_COROS builds).
+  void spawn(Task<> process,
+             std::source_location loc = std::source_location::current()) {
+    spawn_at(now_, std::move(process), loc);
+  }
 
   /// Starts a root process at an absolute virtual time (>= now).
-  void spawn_at(SimTime at, Task<> process);
+  void spawn_at(SimTime at, Task<> process,
+                std::source_location loc = std::source_location::current());
 
   /// Resumes `h` at absolute virtual time `at` (>= now).
   void schedule(SimTime at, std::coroutine_handle<> h);
@@ -93,6 +103,39 @@ class Simulation {
   /// Total number of events processed so far (diagnostics).
   std::uint64_t events_processed() const { return events_processed_; }
 
+  // ---- Determinism tracing --------------------------------------------------
+  //
+  // With a hook installed, the kernel emits one record per dispatched event
+  // and components may interleave labelled notes (op ids, commit outcomes).
+  // Two same-seed runs must produce byte-identical record streams; the first
+  // divergence pinpoints hidden nondeterminism (pointer ordering, wall-clock
+  // reads, unordered-container iteration). See tests/pacon_determinism_check.
+
+  struct TraceRecord {
+    /// Running index of this record within the run (0-based).
+    std::uint64_t index = 0;
+    /// Virtual time of the record.
+    SimTime at = 0;
+    /// Kernel sequence number of the event being (or just) dispatched.
+    std::uint64_t event_seq = 0;
+    /// Empty for a plain event dispatch; otherwise the component note.
+    std::string label;
+  };
+  using TraceHook = std::function<void(const TraceRecord&)>;
+
+  /// Installs (or, with nullptr, removes) the trace hook.
+  void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
+
+  /// True while a trace hook is installed; components guard their notes on
+  /// this so tracing costs nothing when off.
+  bool tracing() const { return static_cast<bool>(trace_hook_); }
+
+  /// Emits a labelled record at the current virtual time (no-op when off).
+  void trace_note(std::string label) {
+    if (!trace_hook_) return;
+    trace_hook_(TraceRecord{trace_index_++, now_, current_event_seq_, std::move(label)});
+  }
+
  private:
   struct Event {
     SimTime at;
@@ -116,6 +159,9 @@ class Simulation {
   std::vector<Task<>> roots_;
   Rng rng_;
   MetricRegistry metrics_;
+  TraceHook trace_hook_;
+  std::uint64_t trace_index_ = 0;
+  std::uint64_t current_event_seq_ = 0;
 };
 
 namespace detail {

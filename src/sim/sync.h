@@ -11,6 +11,7 @@
 #include <optional>
 #include <utility>
 
+#include "debug/coro_check.h"
 #include "sim/simulation.h"
 
 namespace pacon::sim {
@@ -24,6 +25,9 @@ class OneShot {
   explicit OneShot(Simulation& sim) : sim_(sim) {}
   OneShot(const OneShot&) = delete;
   OneShot& operator=(const OneShot&) = delete;
+  ~OneShot() {
+    for (auto h : waiters_) debug::waiter_abandoned("OneShot", h.address());
+  }
 
   bool ready() const { return value_.has_value(); }
 
@@ -38,7 +42,12 @@ class OneShot {
   auto get() {
     struct Awaiter {
       OneShot& slot;
-      bool await_ready() const { return slot.value_.has_value(); }
+      bool await_ready() const {
+        // A dead slot reports (and aborts under the default handler) before
+        // any of its state is touched.
+        if (!slot.canary_.check_alive()) return true;
+        return slot.value_.has_value();
+      }
       void await_suspend(std::coroutine_handle<> h) { slot.waiters_.push_back(h); }
       T await_resume() const { return *slot.value_; }
     };
@@ -49,7 +58,10 @@ class OneShot {
   auto take() {
     struct Awaiter {
       OneShot& slot;
-      bool await_ready() const { return slot.value_.has_value(); }
+      bool await_ready() const {
+        if (!slot.canary_.check_alive()) return true;
+        return slot.value_.has_value();
+      }
       void await_suspend(std::coroutine_handle<> h) { slot.waiters_.push_back(h); }
       T await_resume() const { return std::move(*slot.value_); }
     };
@@ -60,6 +72,7 @@ class OneShot {
   Simulation& sim_;
   std::optional<T> value_;
   std::deque<std::coroutine_handle<>> waiters_;
+  debug::AwaitableCanary canary_{"OneShot"};
 };
 
 /// Manually-reset gate. Processes await wait() until somebody open()s it.
@@ -68,6 +81,9 @@ class Gate {
   explicit Gate(Simulation& sim) : sim_(sim) {}
   Gate(const Gate&) = delete;
   Gate& operator=(const Gate&) = delete;
+  ~Gate() {
+    for (auto h : waiters_) debug::waiter_abandoned("Gate", h.address());
+  }
 
   bool is_open() const { return open_; }
 
@@ -82,7 +98,10 @@ class Gate {
   auto wait() {
     struct Awaiter {
       Gate& gate;
-      bool await_ready() const { return gate.open_; }
+      bool await_ready() const {
+        if (!gate.canary_.check_alive()) return true;
+        return gate.open_;
+      }
       void await_suspend(std::coroutine_handle<> h) { gate.waiters_.push_back(h); }
       void await_resume() const {}
     };
@@ -93,6 +112,7 @@ class Gate {
   Simulation& sim_;
   bool open_ = false;
   std::deque<std::coroutine_handle<>> waiters_;
+  debug::AwaitableCanary canary_{"Gate"};
 };
 
 /// FIFO-fair counting semaphore.
@@ -101,6 +121,9 @@ class Semaphore {
   Semaphore(Simulation& sim, std::size_t permits) : sim_(sim), permits_(permits) {}
   Semaphore(const Semaphore&) = delete;
   Semaphore& operator=(const Semaphore&) = delete;
+  ~Semaphore() {
+    for (auto h : waiters_) debug::waiter_abandoned("Semaphore", h.address());
+  }
 
   std::size_t available() const { return permits_; }
 
@@ -108,6 +131,7 @@ class Semaphore {
     struct Awaiter {
       Semaphore& sem;
       bool await_ready() {
+        if (!sem.canary_.check_alive()) return true;
         if (sem.permits_ == 0) return false;
         --sem.permits_;
         return true;
@@ -133,6 +157,7 @@ class Semaphore {
   Simulation& sim_;
   std::size_t permits_;
   std::deque<std::coroutine_handle<>> waiters_;
+  debug::AwaitableCanary canary_{"Semaphore"};
 };
 
 /// FIFO-fair mutex, a binary special case kept separate for clarity.
@@ -141,6 +166,9 @@ class Mutex {
   explicit Mutex(Simulation& sim) : sim_(sim) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
+  ~Mutex() {
+    for (auto h : waiters_) debug::waiter_abandoned("Mutex", h.address());
+  }
 
   bool locked() const { return locked_; }
 
@@ -148,6 +176,7 @@ class Mutex {
     struct Awaiter {
       Mutex& mu;
       bool await_ready() {
+        if (!mu.canary_.check_alive()) return true;
         if (mu.locked_) return false;
         mu.locked_ = true;
         return true;
@@ -194,6 +223,7 @@ class Mutex {
   Simulation& sim_;
   bool locked_ = false;
   std::deque<std::coroutine_handle<>> waiters_;
+  debug::AwaitableCanary canary_{"Mutex"};
 };
 
 /// Go-style wait group: add() work, done() it, await wait() for zero.
@@ -202,6 +232,9 @@ class WaitGroup {
   explicit WaitGroup(Simulation& sim) : sim_(sim) {}
   WaitGroup(const WaitGroup&) = delete;
   WaitGroup& operator=(const WaitGroup&) = delete;
+  ~WaitGroup() {
+    for (auto h : waiters_) debug::waiter_abandoned("WaitGroup", h.address());
+  }
 
   void add(std::size_t n = 1) { pending_ += n; }
 
@@ -218,7 +251,10 @@ class WaitGroup {
   auto wait() {
     struct Awaiter {
       WaitGroup& wg;
-      bool await_ready() const { return wg.pending_ == 0; }
+      bool await_ready() const {
+        if (!wg.canary_.check_alive()) return true;
+        return wg.pending_ == 0;
+      }
       void await_suspend(std::coroutine_handle<> h) { wg.waiters_.push_back(h); }
       void await_resume() const {}
     };
@@ -229,6 +265,7 @@ class WaitGroup {
   Simulation& sim_;
   std::size_t pending_ = 0;
   std::deque<std::coroutine_handle<>> waiters_;
+  debug::AwaitableCanary canary_{"WaitGroup"};
 };
 
 /// Reusable rendezvous barrier for a fixed party count.
@@ -239,11 +276,15 @@ class Barrier {
   }
   Barrier(const Barrier&) = delete;
   Barrier& operator=(const Barrier&) = delete;
+  ~Barrier() {
+    for (auto h : waiters_) debug::waiter_abandoned("Barrier", h.address());
+  }
 
   auto arrive_and_wait() {
     struct Awaiter {
       Barrier& b;
       bool await_ready() {
+        if (!b.canary_.check_alive()) return true;
         if (b.arrived_ + 1 == b.parties_) {
           // Last arriver releases everybody and passes through.
           b.arrived_ = 0;
@@ -267,6 +308,7 @@ class Barrier {
   std::size_t parties_;
   std::size_t arrived_ = 0;
   std::deque<std::coroutine_handle<>> waiters_;
+  debug::AwaitableCanary canary_{"Barrier"};
 };
 
 }  // namespace pacon::sim

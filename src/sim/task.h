@@ -16,6 +16,8 @@
 #include <optional>
 #include <utility>
 
+#include "debug/coro_check.h"
+
 namespace pacon::sim {
 
 template <typename T = void>
@@ -34,6 +36,7 @@ struct PromiseBase {
     template <typename Promise>
     std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) const noexcept {
       PromiseBase& p = h.promise();
+      debug::coro_done(h.address());
       if (p.continuation) return p.continuation;
       if (p.detached) {
         if (p.error) {
@@ -41,6 +44,7 @@ struct PromiseBase {
           // loudly beats silently dropping a simulated server.
           std::rethrow_exception(p.error);  // noexcept context -> terminate
         }
+        debug::coro_destroyed(h.address());
         h.destroy();
       }
       return std::noop_coroutine();
@@ -64,7 +68,9 @@ class Task {
     std::optional<T> value;
 
     Task get_return_object() {
-      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+      auto h = std::coroutine_handle<promise_type>::from_promise(*this);
+      debug::coro_created(h.address());
+      return Task(h);
     }
     template <typename U>
     void return_value(U&& v) {
@@ -121,6 +127,7 @@ class Task {
  private:
   void destroy() {
     if (handle_) {
+      debug::coro_destroyed(handle_.address());
       handle_.destroy();
       handle_ = nullptr;
     }
@@ -134,7 +141,9 @@ class Task<void> {
  public:
   struct promise_type : detail::PromiseBase {
     Task get_return_object() {
-      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+      auto h = std::coroutine_handle<promise_type>::from_promise(*this);
+      debug::coro_created(h.address());
+      return Task(h);
     }
     void return_void() {}
   };
@@ -183,6 +192,7 @@ class Task<void> {
  private:
   void destroy() {
     if (handle_) {
+      debug::coro_destroyed(handle_.address());
       handle_.destroy();
       handle_ = nullptr;
     }

@@ -213,7 +213,7 @@ TEST(Barrier, EpochsSequenceMultipleDependentOps) {
       (void)co_await b.create(Path::parse(dir + "/f"), fs::FileMode::file_default());
       auto entries = co_await a.readdir(Path::parse(dir));
       EXPECT_TRUE(entries.has_value());
-      if (entries) EXPECT_EQ(entries->size(), 1u) << "round " << round;
+      if (entries) { EXPECT_EQ(entries->size(), 1u) << "round " << round; }
       (void)co_await b.remove(Path::parse(dir + "/f"));
       EXPECT_TRUE((co_await a.rmdir(Path::parse(dir))).has_value()) << "round " << round;
     }
@@ -242,7 +242,7 @@ TEST(Barrier, ReaddirObservesEveryPriorCreateAcrossNodes) {
     // from any client must see all 100 files.
     auto entries = co_await cs[2]->readdir(Path::parse("/app/ls"));
     EXPECT_TRUE(entries.has_value());
-    if (entries) EXPECT_EQ(entries->size(), 100u);
+    if (entries) { EXPECT_EQ(entries->size(), 100u); }
   }(w.sim, clients));
 }
 

@@ -209,7 +209,7 @@ TEST(Pacon, ReaddirReflectsAsyncCreates) {
     }
     auto entries = co_await b.readdir(Path::parse("/app/d"));
     EXPECT_TRUE(entries.has_value());
-    if (entries) EXPECT_EQ(entries->size(), 10u);
+    if (entries) { EXPECT_EQ(entries->size(), 10u); }
   }(*c1, *c2));
 }
 
@@ -223,10 +223,10 @@ TEST(Pacon, SmallFileInlineRoundTrip) {
     EXPECT_TRUE(wrote.has_value());
     auto attr = co_await p.getattr(Path::parse("/app/small"));
     EXPECT_TRUE(attr.has_value());
-    if (attr) EXPECT_EQ(attr->size, 1024u);
+    if (attr) { EXPECT_EQ(attr->size, 1024u); }
     auto bytes = co_await p.read(Path::parse("/app/small"), 0, 4096);
     EXPECT_TRUE(bytes.has_value());
-    if (bytes) EXPECT_EQ(*bytes, 1024u);
+    if (bytes) { EXPECT_EQ(*bytes, 1024u); }
   }(*c));
 }
 
@@ -266,7 +266,7 @@ TEST(Pacon, SmallFileConcurrentWritersConvergeViaCas) {
     co_await sim::when_all(s, std::move(writers));
     auto attr = co_await a.getattr(Path::parse("/app/shared"));
     EXPECT_TRUE(attr.has_value());
-    if (attr) EXPECT_EQ(attr->size, 1024u);
+    if (attr) { EXPECT_EQ(attr->size, 1024u); }
   }(w.sim, *c1, *c2));
 }
 

@@ -50,7 +50,7 @@ TEST(RegionEdge, GetattrOfWorkspaceRootLoadsFromDfs) {
   sim::run_task(w.sim, [](Pacon& pc) -> Task<> {
     auto root = co_await pc.getattr(Path::parse("/app"));
     EXPECT_TRUE(root.has_value());
-    if (root) EXPECT_TRUE(root->is_dir());
+    if (root) { EXPECT_TRUE(root->is_dir()); }
   }(*p));
 }
 
@@ -64,7 +64,7 @@ TEST(RegionEdge, CreateOverMarkedRemovedEntryIsExists) {
     // The marked entry is still in the cache until the remove commits;
     // re-creating during that window surfaces EEXIST (documented behavior).
     auto again = co_await pc.create(Path::parse("/app/f"), fs::FileMode::file_default());
-    if (!again) EXPECT_EQ(again.error(), FsError::exists);
+    if (!again) { EXPECT_EQ(again.error(), FsError::exists); }
     co_await pc.drain();
     // After commit the name is free again.
     auto fresh = co_await pc.create(Path::parse("/app/f"), fs::FileMode::file_default());
@@ -109,10 +109,10 @@ TEST(RegionEdge, ReadBeyondEofReturnsShortOrZero) {
     (void)co_await pc.write(Path::parse("/app/f"), 0, 100);
     auto over = co_await pc.read(Path::parse("/app/f"), 50, 1000);
     EXPECT_TRUE(over.has_value());
-    if (over) EXPECT_EQ(*over, 50u);
+    if (over) { EXPECT_EQ(*over, 50u); }
     auto past = co_await pc.read(Path::parse("/app/f"), 500, 10);
     EXPECT_TRUE(past.has_value());
-    if (past) EXPECT_EQ(*past, 0u);
+    if (past) { EXPECT_EQ(*past, 0u); }
   }(*p));
 }
 
@@ -128,7 +128,7 @@ TEST(RegionEdge, SmallFileGrowsAcrossThresholdMidStream) {
     EXPECT_TRUE(big.has_value());
     auto attr = co_await pc.getattr(Path::parse("/app/f"));
     EXPECT_TRUE(attr.has_value());
-    if (attr) EXPECT_EQ(attr->size, 8000u);
+    if (attr) { EXPECT_EQ(attr->size, 8000u); }
     co_await pc.drain();
   }(*p));
 }
@@ -147,7 +147,7 @@ TEST(RegionEdge, MergedReaddirIsAllowedAndConsistent) {
     // readdir is a read: allowed on merged regions, barrier-consistent.
     auto listing = co_await a.readdir(Path::parse("/peer/out"));
     EXPECT_TRUE(listing.has_value());
-    if (listing) EXPECT_EQ(listing->size(), 5u);
+    if (listing) { EXPECT_EQ(listing->size(), 5u); }
     // Small-file reads from the merged region's cache also work.
     (void)co_await b.write(Path::parse("/peer/out/f0"), 0, 128);
     auto bytes = co_await a.read(Path::parse("/peer/out/f0"), 0, 128);

@@ -1,0 +1,215 @@
+// Tests for the coroutine-lifetime detector (src/debug): each test commits a
+// deliberate lifetime bug -- double wakeup, wake of a completed frame,
+// leaked detached frame, await on a destroyed primitive -- and asserts the
+// detector reports it. Reports are captured through a test handler; one
+// death test covers the default print-and-abort path.
+//
+// The suite self-skips in builds without PACON_DEBUG_COROS (the detector is
+// compiled to no-op stubs there); scripts/check.sh always runs it compiled
+// in.
+#include <gtest/gtest.h>
+
+#include <coroutine>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "debug/coro_check.h"
+#include "sim/channel.h"
+#include "sim/combinators.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+
+namespace pacon::sim {
+namespace {
+
+using debug::CoroReport;
+using debug::CoroViolation;
+
+/// Installs a capturing (non-aborting) report handler for the test's scope.
+class CaptureReports {
+ public:
+  CaptureReports() {
+    debug::set_coro_report_handler(
+        [this](const CoroReport& r) { reports_.push_back(r); });
+  }
+  ~CaptureReports() { debug::set_coro_report_handler(nullptr); }
+  CaptureReports(const CaptureReports&) = delete;
+  CaptureReports& operator=(const CaptureReports&) = delete;
+
+  const std::vector<CoroReport>& reports() const { return reports_; }
+
+  bool saw(CoroViolation kind) const {
+    for (const auto& r : reports_) {
+      if (r.kind == kind) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<CoroReport> reports_;
+};
+
+/// A buggy awaitable that queues TWO wakeups for one suspension.
+struct DoubleWake {
+  Simulation& sim;
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    sim.schedule_now(h);
+    sim.schedule_now(h);  // the bug under test
+  }
+  void await_resume() const {}
+};
+
+#define SKIP_WITHOUT_DETECTOR()                                             \
+  if (!debug::coro_checking_enabled())                                      \
+  GTEST_SKIP() << "detector compiled out (build with -DPACON_DEBUG_COROS=ON)"
+
+TEST(CoroDetector, CleanWorkloadProducesNoReports) {
+  SKIP_WITHOUT_DETECTOR();
+  CaptureReports cap;
+  {
+    Simulation sim;
+    auto ch = std::make_unique<Channel<int>>(sim, 2);
+    sim.spawn([](Channel<int>& c) -> Task<> {
+      for (int i = 0; i < 10; ++i) (void)co_await c.send(i);
+      c.close();
+    }(*ch));
+    sim.spawn([](Simulation& s, Channel<int>& c) -> Task<> {
+      while (co_await c.recv()) co_await s.delay(1_us);
+    }(sim, *ch));
+    run_task(sim, [](Simulation& s) -> Task<> {
+      std::vector<Task<>> children;
+      for (int i = 0; i < 4; ++i) {
+        children.push_back([](Simulation& sm) -> Task<> { co_await sm.delay(5_us); }(s));
+      }
+      co_await when_all(s, std::move(children));
+    }(sim));
+    sim.run();
+  }
+  EXPECT_TRUE(cap.reports().empty())
+      << "unexpected report: "
+      << (cap.reports().empty() ? "" : debug::to_string(cap.reports().front().kind));
+}
+
+TEST(CoroDetector, DoubleScheduleReported) {
+  SKIP_WITHOUT_DETECTOR();
+  CaptureReports cap;
+  Simulation sim;
+  sim.spawn([](Simulation& s) -> Task<> { co_await DoubleWake{s}; }(sim));
+  // One step resumes the process, which queues the duplicate wakeup; the
+  // detector fires at schedule time, before either duplicate dispatches.
+  sim.step();
+  ASSERT_EQ(cap.reports().size(), 1u);
+  EXPECT_EQ(cap.reports()[0].kind, CoroViolation::double_schedule);
+  // Creation-site tag points at this file (spawn records the call site).
+  EXPECT_NE(cap.reports()[0].tag.find("debug_coro_test"), std::string::npos)
+      << "tag was: " << cap.reports()[0].tag;
+  // Deliberately stop here: dispatching the duplicate wakeup would be the
+  // exact UB the detector exists to catch. Teardown discards the queue.
+}
+
+TEST(CoroDetector, WakeupOfCompletedCoroutineReported) {
+  SKIP_WITHOUT_DETECTOR();
+  CaptureReports cap;
+  Simulation sim;
+  auto t = []() -> Task<> { co_return; }();
+  const std::coroutine_handle<> h = t.raw_handle();
+  sim.spawn(std::move(t));
+  sim.run();  // completes; the owned frame parks at its final suspend point
+  ASSERT_TRUE(cap.reports().empty());
+  sim.schedule_now(h);  // the bug under test
+  ASSERT_EQ(cap.reports().size(), 1u);
+  EXPECT_EQ(cap.reports()[0].kind, CoroViolation::schedule_after_done);
+}
+
+TEST(CoroDetector, LeakedDetachedCoroutineReportedAtTeardown) {
+  SKIP_WITHOUT_DETECTOR();
+  CaptureReports cap;
+  std::coroutine_handle<> leaked;
+  auto gate_sim = std::make_unique<Simulation>();
+  auto gate = std::make_unique<Gate>(*gate_sim);
+  {
+    auto t = [](Gate& g) -> Task<> { co_await g.wait(); }(*gate);
+    leaked = t.release_detached();  // nobody owns the frame now
+    gate_sim->schedule_now(leaked);
+  }
+  gate_sim->run();    // the process parks on the never-opened gate
+  gate_sim.reset();   // teardown: the frame is unowned and still alive
+  EXPECT_TRUE(cap.saw(CoroViolation::leak_at_teardown));
+  // Reclaim manually (with the registry notified, as any frame owner must)
+  // so LeakSanitizer stays quiet about the test itself.
+  debug::coro_destroyed(leaked.address());
+  leaked.destroy();
+  gate.reset();
+}
+
+TEST(CoroDetector, PrimitiveDestroyedUnderLiveWaiterReported) {
+  SKIP_WITHOUT_DETECTOR();
+  CaptureReports cap;
+  Simulation sim;
+  auto ch = std::make_unique<Channel<int>>(sim);
+  sim.spawn([](Channel<int>& c) -> Task<> { (void)co_await c.recv(); }(*ch));
+  sim.run();   // receiver parks in the channel's wait queue
+  ch.reset();  // the bug under test: channel dies under a live waiter
+  ASSERT_EQ(cap.reports().size(), 1u);
+  EXPECT_EQ(cap.reports()[0].kind, CoroViolation::primitive_destroyed_with_waiters);
+  EXPECT_NE(cap.reports()[0].detail.find("Channel"), std::string::npos);
+  // The parked root is reclaimed (never resumed) by Simulation teardown.
+}
+
+TEST(CoroDetector, AwaitOnDeadChannelReported) {
+  SKIP_WITHOUT_DETECTOR();
+  CaptureReports cap;
+  Simulation sim;
+  // Placement storage keeps the memory valid after the destructor runs, so
+  // the canary read in the detector is well-defined in-test; the awaiter
+  // must still short-circuit without touching the destructed innards.
+  alignas(Channel<int>) unsigned char storage[sizeof(Channel<int>)];
+  auto* ch = new (storage) Channel<int>(sim);
+  ch->~Channel();
+  bool resolved_closed = false;
+  sim.spawn([](Channel<int>& c, bool& out) -> Task<> {
+    auto v = co_await c.recv();  // the bug under test: channel already dead
+    out = !v.has_value();
+  }(*ch, resolved_closed));
+  sim.run();
+  ASSERT_EQ(cap.reports().size(), 1u);
+  EXPECT_EQ(cap.reports()[0].kind, CoroViolation::await_dead_primitive);
+  // With a non-aborting handler installed the recv degrades to
+  // closed-and-drained instead of reading freed state.
+  EXPECT_TRUE(resolved_closed);
+}
+
+TEST(CoroDetector, LiveCountTracksFrames) {
+  SKIP_WITHOUT_DETECTOR();
+  const std::size_t before = debug::live_coro_count();
+  {
+    Simulation sim;
+    Gate gate(sim);
+    sim.spawn([](Gate& g) -> Task<> { co_await g.wait(); }(gate));
+    sim.run();
+    EXPECT_GT(debug::live_coro_count(), before);
+    gate.open();
+    sim.run();
+  }
+  EXPECT_EQ(debug::live_coro_count(), before);
+}
+
+using CoroDetectorDeathTest = ::testing::Test;
+
+TEST(CoroDetectorDeathTest, DefaultHandlerAbortsWithDiagnostic) {
+  SKIP_WITHOUT_DETECTOR();
+  EXPECT_DEATH(
+      {
+        debug::set_coro_report_handler(nullptr);  // default print-and-abort
+        Simulation sim;
+        sim.spawn([](Simulation& s) -> Task<> { co_await DoubleWake{s}; }(sim));
+        sim.step();
+      },
+      "coroutine-lifetime violation: double-schedule");
+}
+
+}  // namespace
+}  // namespace pacon::sim

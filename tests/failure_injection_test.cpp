@@ -147,7 +147,7 @@ TEST(Failure, CheckpointRestoreAfterCrashIsComplete) {
     }
     auto data = co_await a.getattr(Path::parse("/app/data"));
     EXPECT_TRUE(data.has_value());
-    if (data) EXPECT_EQ(data->size, 2048u);
+    if (data) { EXPECT_EQ(data->size, 2048u); }
     EXPECT_EQ((co_await a.getattr(Path::parse("/app/garbage"))).error(), FsError::not_found);
   }(w, *c0, *c1));
 }

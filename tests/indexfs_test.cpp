@@ -75,7 +75,7 @@ TEST(IndexFs, CreateThenStat) {
     c.invalidate_cache();  // force a server lookup
     auto got = co_await c.getattr(Path::parse("/file"));
     EXPECT_TRUE(got.has_value());
-    if (made && got) EXPECT_EQ(got->ino, made->ino);
+    if (made && got) { EXPECT_EQ(got->ino, made->ino); }
   }(client));
 }
 
@@ -125,7 +125,7 @@ TEST(IndexFs, ReaddirMergesPartitions) {
     }
     auto entries = co_await c.readdir(Path::parse("/d"));
     EXPECT_TRUE(entries.has_value());
-    if (entries) EXPECT_EQ(entries->size(), 50u);
+    if (entries) { EXPECT_EQ(entries->size(), 50u); }
   }(client));
 }
 
@@ -191,7 +191,7 @@ TEST(IndexFs, CreateStormTriggersGigaSplits) {
     }
     auto entries = co_await c.readdir(Path::parse("/hot"));
     EXPECT_TRUE(entries.has_value());
-    if (entries) EXPECT_EQ(entries->size(), 1500u);
+    if (entries) { EXPECT_EQ(entries->size(), 1500u); }
   }(reader));
 }
 

@@ -111,7 +111,7 @@ TEST(Integration, MixedWorkloadConvergesToConsistentDfsState) {
         (void)co_await p.rmdir(Path::parse(tmp));
         auto listing = co_await p.readdir(Path::parse(mydir));
         EXPECT_TRUE(listing.has_value());
-        if (listing) EXPECT_EQ(listing->size(), 20u);  // 30 - 10 removed
+        if (listing) { EXPECT_EQ(listing->size(), 20u); }  // 30 - 10 removed
       }(*cs[id], id, expect));
     }
     co_await sim::when_all(s, std::move(procs));
@@ -144,7 +144,7 @@ TEST(Integration, PaconViewMatchesDfsViewAfterDrain) {
       auto theirs = co_await probe.getattr(Path::parse("/app/f" + std::to_string(i)));
       EXPECT_TRUE(mine.has_value());
       EXPECT_TRUE(theirs.has_value());
-      if (mine && theirs) EXPECT_EQ(mine->size, theirs->size) << i;
+      if (mine && theirs) { EXPECT_EQ(mine->size, theirs->size) << i; }
     }
   }(w, p));
 }

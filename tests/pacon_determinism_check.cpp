@@ -1,0 +1,192 @@
+// Determinism checker for the Pacon simulation kernel (tier-1 gate, run by
+// scripts/check.sh under every sanitizer mode).
+//
+// Runs a representative mdtest workload -- concurrent creates committing
+// asynchronously through the region log, readdir-triggered barrier epochs,
+// random stats, removes -- twice with identical seeds, recording the full
+// event trace through Simulation::set_trace_hook: one record per dispatched
+// kernel event (virtual timestamp + kernel sequence number) interleaved with
+// the commit path's labelled notes (region-unique op ids, commit outcomes,
+// barrier drains). The two traces must be byte-identical; on mismatch the
+// test fails printing the FIRST diverging record with context, which is the
+// exact point where hidden nondeterminism (pointer-keyed iteration,
+// wall-clock reads, address-dependent ordering) entered the run.
+//
+// A different seed must also produce a different trace -- that guards
+// against a hook wiring bug making the trace vacuously identical.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fs/path.h"
+#include "fs/types.h"
+#include "harness/testbed.h"
+#include "sim/combinators.h"
+#include "sim/simulation.h"
+#include "workload/mdtest.h"
+#include "workload/meta_client.h"
+
+namespace pacon {
+namespace {
+
+constexpr int kClients = 4;
+constexpr int kFilesPerClient = 12;
+constexpr int kStatOps = 20;
+
+/// Flattens one TraceRecord into a comparable line.
+std::string format_record(const sim::Simulation::TraceRecord& r) {
+  std::ostringstream os;
+  os << r.index << " t=" << r.at << " seq=" << r.event_seq;
+  if (!r.label.empty()) os << " " << r.label;
+  return os.str();
+}
+
+sim::Task<> workload(harness::TestBed& bed, std::vector<std::unique_ptr<wl::MetaClient>>& clients,
+                     std::uint64_t seed) {
+  sim::Simulation& sim = bed.sim();
+  const fs::Path base = fs::Path::parse("/w");
+
+  // Phase 1: concurrent creates in the shared parent (async weak commits).
+  std::vector<sim::Task<>> creates;
+  for (int i = 0; i < kClients; ++i) {
+    creates.push_back([](wl::MetaClient& c, fs::Path b, int rank) -> sim::Task<> {
+      co_await wl::mdtest_create_phase(c, b, rank, kFilesPerClient);
+    }(*clients[static_cast<std::size_t>(i)], base, i));
+  }
+  co_await sim::when_all(sim, std::move(creates));
+
+  // Phase 2: readdir forces a barrier epoch (strong op drains the log).
+  auto listing = co_await clients[0]->readdir(base);
+  if (!listing.has_value()) throw std::runtime_error("readdir failed");
+  sim.trace_note("phase readdir entries=" + std::to_string(listing.value().size()));
+
+  // Phase 3: random stats across all clients' items, each client on its own
+  // Rng stream forked from the run seed.
+  std::vector<sim::Task<>> stats;
+  for (int i = 0; i < kClients; ++i) {
+    sim::Rng rng = sim::Rng(seed).fork("mdtest-stat").fork(static_cast<std::uint64_t>(i));
+    stats.push_back([](wl::MetaClient& c, fs::Path b, sim::Rng r) -> sim::Task<> {
+      co_await wl::mdtest_stat_phase(c, b, kClients, kFilesPerClient, kStatOps, r);
+    }(*clients[static_cast<std::size_t>(i)], base, rng));
+  }
+  co_await sim::when_all(sim, std::move(stats));
+
+  // Phase 4: concurrent removes, then a final barrier-forcing readdir.
+  std::vector<sim::Task<>> removes;
+  for (int i = 0; i < kClients; ++i) {
+    removes.push_back([](wl::MetaClient& c, fs::Path b, int rank) -> sim::Task<> {
+      co_await wl::mdtest_remove_phase(c, b, rank, kFilesPerClient);
+    }(*clients[static_cast<std::size_t>(i)], base, i));
+  }
+  co_await sim::when_all(sim, std::move(removes));
+
+  auto final_listing = co_await clients[0]->readdir(base);
+  if (!final_listing.has_value()) throw std::runtime_error("final readdir failed");
+  sim.trace_note("phase final-readdir entries=" +
+                 std::to_string(final_listing.value().size()));
+}
+
+/// Builds a Pacon testbed, runs the workload, returns the full event trace.
+std::vector<std::string> run_traced(std::uint64_t seed) {
+  harness::TestBedConfig cfg;
+  cfg.kind = harness::SystemKind::pacon;
+  cfg.client_nodes = kClients;
+  cfg.seed = seed;
+  harness::TestBed bed(cfg);
+
+  std::vector<std::string> trace;
+  // Installed before any event runs, so both runs trace from record 0.
+  bed.sim().set_trace_hook([&trace](const sim::Simulation::TraceRecord& r) {
+    trace.push_back(format_record(r));
+  });
+
+  const fs::Credentials creds{1000, 1000};
+  bed.provision_workspace("/w", creds);
+  std::vector<std::unique_ptr<wl::MetaClient>> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.push_back(bed.make_client(static_cast<std::size_t>(i), "/w", creds));
+  }
+
+  sim::run_task(bed.sim(), workload(bed, clients, seed));
+  bed.sim().set_trace_hook(nullptr);  // teardown events are not part of the contract
+  return trace;
+}
+
+/// Prints the first diverging index with surrounding context from both runs.
+::testing::AssertionResult traces_identical(const std::vector<std::string>& a,
+                                            const std::vector<std::string>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) {
+      std::ostringstream os;
+      os << "traces diverge at record " << i << " (of " << a.size() << "/" << b.size()
+         << "):\n";
+      const std::size_t from = i >= 3 ? i - 3 : 0;
+      for (std::size_t j = from; j < std::min(n, i + 2); ++j) {
+        const char* marker = j == i ? ">>" : "  ";
+        os << marker << " run1[" << j << "]: " << a[j] << "\n";
+        os << marker << " run2[" << j << "]: " << b[j] << "\n";
+      }
+      return ::testing::AssertionFailure() << os.str();
+    }
+  }
+  if (a.size() != b.size()) {
+    const auto& longer = a.size() > b.size() ? a : b;
+    return ::testing::AssertionFailure()
+           << "trace lengths differ (" << a.size() << " vs " << b.size()
+           << "); first extra record: " << longer[n];
+  }
+  return ::testing::AssertionSuccess();
+}
+
+bool any_contains(const std::vector<std::string>& trace, const std::string& needle) {
+  return std::any_of(trace.begin(), trace.end(), [&needle](const std::string& line) {
+    return line.find(needle) != std::string::npos;
+  });
+}
+
+TEST(PaconDeterminism, SameSeedProducesIdenticalEventTrace) {
+  const std::vector<std::string> run1 = run_traced(42);
+  const std::vector<std::string> run2 = run_traced(42);
+  EXPECT_TRUE(traces_identical(run1, run2));
+}
+
+TEST(PaconDeterminism, SameSeedIdenticalAcrossSeeds) {
+  // A second seed exercises different jitter/stat choices; determinism must
+  // hold for each seed independently.
+  for (std::uint64_t seed : {7ull, 1234567ull}) {
+    const std::vector<std::string> run1 = run_traced(seed);
+    const std::vector<std::string> run2 = run_traced(seed);
+    EXPECT_TRUE(traces_identical(run1, run2)) << "seed=" << seed;
+  }
+}
+
+TEST(PaconDeterminism, TraceCoversKernelAndCommitPath) {
+  const std::vector<std::string> trace = run_traced(42);
+  // The workload is ~hundreds of ops across 4 clients; a thin trace means
+  // the kernel hook is not firing per dispatch.
+  EXPECT_GT(trace.size(), 1000u);
+  // Commit-path notes: async publishes with region-unique op ids, commit
+  // application on replicas, and the readdir-triggered barrier drain.
+  EXPECT_TRUE(any_contains(trace, "publish op=")) << "no publish notes in trace";
+  EXPECT_TRUE(any_contains(trace, "commit op=")) << "no commit notes in trace";
+  EXPECT_TRUE(any_contains(trace, "barrier-drained epoch=")) << "no barrier note in trace";
+  EXPECT_TRUE(any_contains(trace, "phase final-readdir")) << "workload note missing";
+}
+
+TEST(PaconDeterminism, DifferentSeedProducesDifferentTrace) {
+  // Guards against a vacuous pass (hook emitting nothing seed-dependent).
+  const std::vector<std::string> run1 = run_traced(42);
+  const std::vector<std::string> run2 = run_traced(43);
+  EXPECT_NE(run1, run2) << "different seeds produced identical traces; the "
+                           "trace is not capturing the run's actual schedule";
+}
+
+}  // namespace
+}  // namespace pacon

@@ -2,6 +2,7 @@
 // semantics benches and long-lived regions rely on.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <stdexcept>
 
 #include "sim/channel.h"
@@ -40,10 +41,14 @@ TEST(RunTask, CompletesDespiteImmortalBackgroundProcess) {
 }
 
 TEST(RunTask, ThrowsOnGenuineDeadlock) {
-  Simulation sim;
-  Gate never(sim);
-  EXPECT_THROW(run_task(sim, [](Gate& g) -> Task<> { co_await g.wait(); }(never)),
+  // The kernel is destroyed before the gate: teardown reclaims the
+  // deadlocked frame first, so the gate does not die under a live waiter
+  // (which the coroutine-lifetime detector rightly reports).
+  auto sim = std::make_unique<Simulation>();
+  Gate never(*sim);
+  EXPECT_THROW(run_task(*sim, [](Gate& g) -> Task<> { co_await g.wait(); }(never)),
                std::logic_error);
+  sim.reset();
 }
 
 TEST(RunTask, SequentialRunsShareTheClock) {
