@@ -5,8 +5,10 @@
 # suite (including the coroutine-detector unit tests and the determinism
 # checker). See DESIGN.md "Correctness tooling".
 #
-# Usage: scripts/check.sh [--fast] [--jobs N]
+# Usage: scripts/check.sh [--fast] [--perf] [--jobs N]
 #   --fast   only the ASan+UBSan leg of the matrix (half the wall clock)
+#   --perf   additionally build the Release+LTO perf tree and run the
+#            tracked wall-clock benchmark (scripts/perfbench.sh)
 #   --jobs N parallel build/test jobs (default: nproc)
 #
 # Build trees land in build-check-<mode>/ and are reused incrementally on
@@ -16,10 +18,12 @@ set -euo pipefail
 root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc)"
 modes=(address thread)
+perf=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --fast) modes=(address); shift ;;
+    --perf) perf=1; shift ;;
     --jobs) jobs="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
@@ -50,4 +54,11 @@ for mode in "${modes[@]}"; do
     ctest --test-dir "$build" --output-on-failure --timeout 300 -j "$jobs"
 done
 
-echo "check.sh: all gates passed (lint, tidy, sanitizer matrix: ${modes[*]})"
+if [[ "$perf" == 1 ]]; then
+  echo "==== [perf] Release+LTO benchmark (scripts/perfbench.sh) ====================="
+  # Separate build tree (build-perf): perfbench.sh refuses to measure a
+  # sanitizer or detector tree, so the matrix trees above are never timed.
+  "$root/scripts/perfbench.sh" --build-dir "$root/build-perf"
+fi
+
+echo "check.sh: all gates passed (lint, tidy, sanitizer matrix: ${modes[*]}$([[ "$perf" == 1 ]] && echo ', perf'))"

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Tracked wall-clock perf run: bench/perf_kernel (engine micro-rates) plus a
+# fixed-seed fig07_single_app end-to-end run, recorded in BENCH_kernel.json.
+#
+# The JSON keeps a short history: on every run the previous "current" object
+# is pushed onto "history", so the perf trajectory across PRs is visible from
+# the file alone. The "baseline" object is written once (the pre-optimization
+# numbers of the PR that introduced this harness) and never overwritten.
+#
+# Usage: scripts/perfbench.sh [--build-dir DIR] [--scale N] [--label TEXT]
+#                             [--skip-fig07] [--out FILE]
+#   --build-dir DIR  build tree to use (default: build-perf; configured
+#                    Release + PACON_LTO=ON automatically if missing)
+#   --scale N        perf_kernel iteration multiplier (default 1)
+#   --label TEXT     free-form label stored with the results (e.g. a PR id)
+#   --out FILE       output JSON (default: BENCH_kernel.json at the repo root)
+#   --skip-fig07     engine micro-benchmarks only
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="$root/build-perf"
+scale=1
+label=""
+out="$root/BENCH_kernel.json"
+run_fig07=1
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) build="$2"; shift 2 ;;
+    --scale) scale="$2"; shift 2 ;;
+    --label) label="$2"; shift 2 ;;
+    --out) out="$2"; shift 2 ;;
+    --skip-fig07) run_fig07=0; shift ;;
+    *) echo "perfbench: unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+# A sanitizer build tree would poison the tracked numbers with 2-20x
+# instrumentation overhead; refuse loudly rather than record garbage.
+if [[ -f "$build/CMakeCache.txt" ]]; then
+  san="$(sed -n 's/^PACON_SANITIZE:[A-Z]*=//p' "$build/CMakeCache.txt")"
+  if [[ -n "${san// /}" ]]; then
+    echo "perfbench: FATAL: $build is a sanitizer build tree (PACON_SANITIZE=$san)." >&2
+    echo "perfbench: numbers from instrumented builds are not comparable; use a" >&2
+    echo "perfbench: clean Release tree (default: build-perf)." >&2
+    exit 1
+  fi
+  if grep -q '^PACON_DEBUG_COROS:BOOL=ON' "$build/CMakeCache.txt"; then
+    echo "perfbench: FATAL: $build has the coroutine-lifetime detector compiled in" >&2
+    echo "perfbench: (PACON_DEBUG_COROS=ON); its per-event bookkeeping skews rates." >&2
+    exit 1
+  fi
+  btype="$(sed -n 's/^CMAKE_BUILD_TYPE:[A-Z]*=//p' "$build/CMakeCache.txt")"
+  if [[ "$btype" != "Release" ]]; then
+    echo "perfbench: warning: $build is CMAKE_BUILD_TYPE=$btype, not Release;" >&2
+    echo "perfbench: numbers will not be comparable with tracked ones." >&2
+  fi
+else
+  echo "perfbench: configuring $build (Release + LTO)"
+  cmake -B "$build" -S "$root" -G Ninja \
+    -DCMAKE_BUILD_TYPE=Release -DPACON_LTO=ON >/dev/null
+fi
+
+echo "perfbench: building perf_kernel + fig07_single_app"
+cmake --build "$build" --target perf_kernel fig07_single_app -j "$(nproc)"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "perfbench: running perf_kernel (scale=$scale)"
+"$build/bench/perf_kernel" --scale "$scale" --json "$tmp/kernel.json"
+
+fig07_seconds="null"
+if [[ "$run_fig07" == 1 ]]; then
+  echo "perfbench: running fig07_single_app (fixed seed, full figure)"
+  t0="$(date +%s.%N)"
+  "$build/bench/fig07_single_app" > "$tmp/fig07.out"
+  t1="$(date +%s.%N)"
+  fig07_seconds="$(python3 -c "print(f'{$t1 - $t0:.3f}')")"
+  echo "perfbench: fig07_single_app wall clock: ${fig07_seconds}s"
+fi
+
+FIG07="$fig07_seconds" LABEL="$label" OUT="$out" KERNEL="$tmp/kernel.json" \
+python3 - <<'EOF'
+import json, os, subprocess
+
+out_path = os.environ["OUT"]
+with open(os.environ["KERNEL"]) as f:
+    current = json.load(f)
+fig07 = os.environ["FIG07"]
+current["fig07_wall_seconds"] = None if fig07 == "null" else float(fig07)
+if os.environ["LABEL"]:
+    current["label"] = os.environ["LABEL"]
+try:
+    rev = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                         capture_output=True, text=True,
+                         cwd=os.path.dirname(out_path) or ".").stdout.strip()
+    if rev:
+        current["git_rev"] = rev
+except OSError:
+    pass
+
+doc = {"baseline": None, "current": None, "history": []}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError:
+            pass
+if doc.get("current"):
+    doc.setdefault("history", []).append(doc["current"])
+if not doc.get("baseline"):
+    doc["baseline"] = current
+doc["current"] = current
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"perfbench: wrote {out_path}")
+
+base, cur = doc["baseline"], doc["current"]
+for key in sorted(cur):
+    if key in ("label", "git_rev"):
+        continue
+    b, c = base.get(key), cur.get(key)
+    if isinstance(b, (int, float)) and isinstance(c, (int, float)) and b:
+        ratio = (b / c) if key == "fig07_wall_seconds" else (c / b)
+        print(f"perfbench:   {key}: {c:,.0f}  ({ratio:.2f}x vs baseline)")
+EOF

@@ -89,11 +89,11 @@ sim::Task<FsResult<void>> Pacon::mkdir(const fs::Path& path, fs::FileMode mode) 
     case Route::own_region: {
       refresh_hints();
       const bool parent_known =
-          parent_hints_.find(path.parent().str(), rt_.sim.now()) != nullptr;
+          parent_hints_.find(fs::SpellingKey{path.parent_view(), path.parent_hash()}, rt_.sim.now()) != nullptr;
       auto r = co_await region->mkdir(node_, client_id_, path, mode, parent_known);
       if (r) {
-        parent_hints_.insert(path.str(), 1, rt_.sim.now());
-        parent_hints_.insert(path.parent().str(), 1, rt_.sim.now());
+        parent_hints_.insert(path, 1, rt_.sim.now());
+        parent_hints_.insert(fs::SpellingKey{path.parent_view(), path.parent_hash()}, 1, rt_.sim.now());
       }
       co_return r;
     }
@@ -114,9 +114,9 @@ sim::Task<FsResult<void>> Pacon::create(const fs::Path& path, fs::FileMode mode)
     case Route::own_region: {
       refresh_hints();
       const bool parent_known =
-          parent_hints_.find(path.parent().str(), rt_.sim.now()) != nullptr;
+          parent_hints_.find(fs::SpellingKey{path.parent_view(), path.parent_hash()}, rt_.sim.now()) != nullptr;
       auto r = co_await region->create(node_, client_id_, path, mode, parent_known);
-      if (r) parent_hints_.insert(path.parent().str(), 1, rt_.sim.now());
+      if (r) parent_hints_.insert(fs::SpellingKey{path.parent_view(), path.parent_hash()}, 1, rt_.sim.now());
       co_return r;
     }
     case Route::merged_region:

@@ -8,6 +8,7 @@
 
 #include <map>
 #include <optional>
+#include <string_view>
 
 #include "fs/path.h"
 #include "fs/types.h"
@@ -18,6 +19,15 @@ struct PermissionSpec {
   fs::FileMode mode = fs::FileMode::dir_default();
   fs::Uid uid = 0;
   fs::Gid gid = 0;
+};
+
+/// Transparent Path/string_view order so ancestor probes can shrink a view
+/// of the query path instead of materializing a Path per ancestor.
+struct PathSpellingLess {
+  using is_transparent = void;
+  bool operator()(const fs::Path& a, const fs::Path& b) const { return a.str() < b.str(); }
+  bool operator()(const fs::Path& a, std::string_view b) const { return a.str() < b; }
+  bool operator()(std::string_view a, const fs::Path& b) const { return a < b.str(); }
 };
 
 class PermissionTable {
@@ -41,13 +51,17 @@ class PermissionTable {
 
   /// The spec governing `path`: deepest special ancestor-or-self, else normal.
   const PermissionSpec& spec_for(const fs::Path& path) const {
-    // Walk up from the path itself; the map is small (special cases only),
-    // so ancestor probes are cheap exact lookups.
-    fs::Path probe = path;
+    // Walk up from the path itself; ancestors are successively shorter
+    // prefixes of the query's own spelling, so each probe is a transparent
+    // string_view lookup and the whole walk allocates nothing. The
+    // no-special-entries case (the paper's default) is a single branch.
+    if (special_.empty()) return normal_;
+    std::string_view probe = path.str();
     for (;;) {
       if (auto it = special_.find(probe); it != special_.end()) return it->second;
-      if (probe.is_root()) break;
-      probe = probe.parent();
+      if (probe.size() <= 1) break;  // just walked the root
+      const auto slash = probe.rfind('/');
+      probe = slash == 0 ? std::string_view("/") : probe.substr(0, slash);
     }
     return normal_;
   }
@@ -60,7 +74,7 @@ class PermissionTable {
 
  private:
   PermissionSpec normal_{};
-  std::map<fs::Path, PermissionSpec> special_;
+  std::map<fs::Path, PermissionSpec, PathSpellingLess> special_;
 };
 
 }  // namespace pacon::core

@@ -41,12 +41,15 @@ ConsistentRegion::ConsistentRegion(sim::Simulation& sim, net::Fabric& fabric,
   cache_cfg.lru_eviction = false;
   cache_ = std::make_unique<kv::MemCacheCluster>(sim_, fabric_, cache_cfg);
   bus_ = std::make_unique<net::PubSubBus<OpMessage>>(sim_, fabric_);
+  pending_by_path_.reserve(4096);
 
   for (const auto node : config_.nodes) {
     cache_->add_server(node);
     auto state = std::make_unique<NodeState>();
     state->node = node;
-    state->queue = bus_->subscribe(node_topic(node), node);
+    state->topic = node_topic(node);
+    state->queue = bus_->subscribe(state->topic, node);
+    state->topic_handle = bus_->topic_handle(state->topic);
     dfs::DfsClientConfig dfs_cfg;
     dfs_cfg.creds = config_.creds;
     state->dfs_client = std::make_unique<dfs::DfsClient>(sim_, dfs_, node, dfs_cfg);
@@ -88,7 +91,7 @@ ConsistentRegion::~ConsistentRegion() {
   // simulation keeps running, the woken loops observe end-of-stream and
   // exit; at teardown the kernel reclaims them either way.
   for (auto& node : node_states_) {
-    bus_->unsubscribe(node_topic(node->node), node->queue);
+    bus_->unsubscribe(node->topic, node->queue);
     node->ordered->close();
     node->retry_queue->close();
   }
@@ -133,7 +136,7 @@ sim::Task<FsResult<void>> ConsistentRegion::check_permission(net::NodeId from,
   for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
     const bool leaf = (*it == path);
     const fs::Access want = leaf ? access : fs::Access::execute;
-    auto meta = co_await cache_get(from, it->str());
+    auto meta = co_await cache_get(from, *it);
     if (meta) {
       if (!fs::permits(meta->attr.mode, meta->attr.uid, meta->attr.gid, config_.creds, want)) {
         co_return fs::fail(FsError::permission);
@@ -157,7 +160,7 @@ sim::Task<FsResult<void>> ConsistentRegion::check_parent(net::NodeId from,
                                                          const fs::Path& path) {
   const fs::Path parent = path.parent();
   if (!contains(parent)) co_return FsResult<void>{};  // workspace root's parent
-  auto meta = co_await cache_get(from, parent.str());
+  auto meta = co_await cache_get(from, parent);
   if (meta) {
     if (meta->removed) co_return fs::fail(FsError::not_found);
     if (!meta->attr.is_dir()) co_return fs::fail(FsError::not_a_directory);
@@ -170,15 +173,15 @@ sim::Task<FsResult<void>> ConsistentRegion::check_parent(net::NodeId from,
   if (!attr->is_dir()) co_return fs::fail(FsError::not_a_directory);
   CachedMeta meta_new;
   meta_new.attr = *attr;
-  (void)co_await cache_->add(from, parent.str(), encode_meta(meta_new));
+  (void)co_await cache_->add(from, parent.str(), encode_meta(meta_new), 0, parent.hash());
   co_return FsResult<void>{};
 }
 
 // ---- Cache helpers ----------------------------------------------------------
 
 sim::Task<std::optional<CachedMeta>> ConsistentRegion::cache_get(net::NodeId from,
-                                                                 const std::string& key) {
-  const auto resp = co_await cache_->get(from, key);
+                                                                 const fs::Path& path) {
+  const auto resp = co_await cache_->get(from, path.str(), path.hash());
   if (resp.status != kv::KvStatus::ok) co_return std::nullopt;
   co_return decode_meta(resp.value);
 }
@@ -193,12 +196,12 @@ void ConsistentRegion::publish(std::uint32_t client, OpMessage msg) {
     ++pending_by_path_[msg.path];
     ++pending_total_;
   }
-  if (sim_.tracing()) {
-    sim_.trace_note("publish op=" + std::to_string(msg.op_id) + " kind=" +
-                    to_string(msg.kind) + " path=" + msg.path + " epoch=" +
-                    std::to_string(msg.epoch) + " client=" + std::to_string(client));
-  }
-  bus_->publish(home->node, node_topic(home->node), msg);
+  sim_.trace_note_lazy([&] {
+    return "publish op=" + std::to_string(msg.op_id) + " kind=" + to_string(msg.kind) +
+           " path=" + msg.path + " epoch=" + std::to_string(msg.epoch) +
+           " client=" + std::to_string(client);
+  });
+  bus_->publish(home->node, home->topic_handle, std::move(msg));
 }
 
 // ---- Create / mkdir ----------------------------------------------------------
@@ -225,7 +228,7 @@ sim::Task<FsResult<void>> ConsistentRegion::create_common(net::NodeId from,
   meta.attr.nlink = type == fs::FileType::directory ? 2 : 1;
   meta.attr.ctime = sim_.now();
   meta.attr.mtime = sim_.now();
-  const auto resp = co_await cache_->add(from, path.str(), encode_meta(meta));
+  const auto resp = co_await cache_->add(from, path.str(), encode_meta(meta), 0, path.hash());
   if (resp.status == kv::KvStatus::exists) {
     // A marked-removed entry may be awaiting its remove commit; replacing it
     // would resurrect ordering problems, so surface EEXIST until then.
@@ -269,7 +272,7 @@ sim::Task<FsResult<fs::InodeAttr>> ConsistentRegion::getattr(net::NodeId from,
                                                              const fs::Path& path) {
   auto perm = co_await check_permission(from, path, fs::Access::read);
   if (!perm) co_return fs::fail(perm.error());
-  auto meta = co_await cache_get(from, path.str());
+  auto meta = co_await cache_get(from, path);
   if (meta) {
     if (meta->removed) co_return fs::fail(FsError::not_found);
     co_return meta->attr;
@@ -280,7 +283,7 @@ sim::Task<FsResult<fs::InodeAttr>> ConsistentRegion::getattr(net::NodeId from,
   CachedMeta loaded;
   loaded.attr = *attr;
   loaded.large_file = attr->size > config_.small_file_threshold;
-  (void)co_await cache_->add(from, path.str(), encode_meta(loaded));
+  (void)co_await cache_->add(from, path.str(), encode_meta(loaded), 0, path.hash());
   co_return *attr;
 }
 
@@ -294,7 +297,7 @@ sim::Task<FsResult<void>> ConsistentRegion::remove(net::NodeId from, std::uint32
   // CAS loop: mark the entry removed (Table I: rm = update & delete; the
   // cached copy is deleted by the commit process once the DFS applied it).
   for (;;) {
-    const auto cur = co_await cache_->get(from, path.str());
+    const auto cur = co_await cache_->get(from, path.str(), path.hash());
     if (cur.status == kv::KvStatus::not_found) {
       // Not cached: verify against the DFS before queueing the remove.
       auto attr = co_await state_for(from).dfs_client->getattr(path);
@@ -303,7 +306,8 @@ sim::Task<FsResult<void>> ConsistentRegion::remove(net::NodeId from, std::uint32
       CachedMeta marked;
       marked.attr = *attr;
       marked.removed = true;
-      const auto added = co_await cache_->add(from, path.str(), encode_meta(marked));
+      const auto added =
+          co_await cache_->add(from, path.str(), encode_meta(marked), 0, path.hash());
       if (added.status != kv::KvStatus::ok) continue;  // raced; retry
       break;
     }
@@ -313,7 +317,7 @@ sim::Task<FsResult<void>> ConsistentRegion::remove(net::NodeId from, std::uint32
     if (meta->attr.is_dir()) co_return fs::fail(FsError::is_a_directory);
     meta->removed = true;
     const auto swapped =
-        co_await cache_->cas(from, path.str(), encode_meta(*meta), cur.cas);
+        co_await cache_->cas(from, path.str(), encode_meta(*meta), cur.cas, 0, path.hash());
     if (swapped.status == kv::KvStatus::ok) break;
     // cas_mismatch or concurrent delete: retry the whole read-modify-write.
   }
@@ -329,7 +333,7 @@ sim::Task<FsResult<void>> ConsistentRegion::remove(net::NodeId from, std::uint32
     co_return FsResult<void>{};
   }
   auto done = co_await state_for(from).dfs_client->unlink(path);
-  (void)co_await cache_->del(from, path.str());
+  (void)co_await cache_->del(from, path.str(), path.hash());
   if (!done) co_return fs::fail(done.error());
   co_return FsResult<void>{};
 }
@@ -361,12 +365,12 @@ sim::Task<std::uint64_t> ConsistentRegion::run_barrier(net::NodeId from) {
     b.client_id = cid;
     b.epoch = e;
     b.timestamp = sim_.now();
-    bus_->publish(home->node, node_topic(home->node), b);
+    bus_->publish(home->node, home->topic_handle, std::move(b));
     client_epochs_[cid] = e + 1;
   }
   ++barriers_run_;
   co_await epochs_.wait_all_drained(e);
-  if (sim_.tracing()) sim_.trace_note("barrier-drained epoch=" + std::to_string(e));
+  sim_.trace_note_lazy([&] { return "barrier-drained epoch=" + std::to_string(e); });
   co_return e;
 }
 
@@ -423,7 +427,7 @@ sim::Task<FsResult<std::uint64_t>> ConsistentRegion::write(net::NodeId from,
   dfs::DfsClient& io = *state_for(from).dfs_client;
 
   for (;;) {
-    const auto cur = co_await cache_->get(from, path.str());
+    const auto cur = co_await cache_->get(from, path.str(), path.hash());
     if (cur.status == kv::KvStatus::not_found) {
       // Unknown in cache: fall back to the DFS (load like getattr would).
       auto attr = co_await getattr(from, path);
@@ -447,7 +451,7 @@ sim::Task<FsResult<std::uint64_t>> ConsistentRegion::write(net::NodeId from,
         meta->attr.size = new_size;
         meta->attr.mtime = sim_.now();
         const auto swapped =
-            co_await cache_->cas(from, path.str(), encode_meta(*meta), cur.cas);
+            co_await cache_->cas(from, path.str(), encode_meta(*meta), cur.cas, 0, path.hash());
         if (swapped.status != kv::KvStatus::ok) continue;  // raced: retry
       }
       for (;;) {
@@ -471,7 +475,8 @@ sim::Task<FsResult<std::uint64_t>> ConsistentRegion::write(net::NodeId from,
     meta->inline_bytes = std::max(meta->inline_bytes, offset + length);
     meta->attr.size = new_size;
     meta->attr.mtime = sim_.now();
-    const auto swapped = co_await cache_->cas(from, path.str(), encode_meta(*meta), cur.cas);
+    const auto swapped =
+        co_await cache_->cas(from, path.str(), encode_meta(*meta), cur.cas, 0, path.hash());
     if (swapped.status != kv::KvStatus::ok) continue;  // conflict: re-execute
     OpMessage op;
     op.kind = OpMessage::Kind::write_data;
@@ -494,7 +499,7 @@ sim::Task<FsResult<std::uint64_t>> ConsistentRegion::read(net::NodeId from, cons
                                                           std::uint64_t length) {
   auto perm = co_await check_permission(from, path, fs::Access::read);
   if (!perm) co_return fs::fail(perm.error());
-  auto meta = co_await cache_get(from, path.str());
+  auto meta = co_await cache_get(from, path);
   if (meta && !meta->removed && !meta->large_file) {
     // Single KV request served both metadata and data (Section III.D.2).
     if (offset >= meta->inline_bytes) co_return 0;
@@ -505,10 +510,10 @@ sim::Task<FsResult<std::uint64_t>> ConsistentRegion::read(net::NodeId from, cons
 }
 
 sim::Task<FsResult<void>> ConsistentRegion::fsync(net::NodeId from, const fs::Path& path) {
-  auto meta = co_await cache_get(from, path.str());
+  auto meta = co_await cache_get(from, path);
   if (!meta || meta->removed) co_return fs::fail(FsError::not_found);
   NodeState& state = state_for(from);
-  if (pending_by_path_.contains(path.str())) {
+  if (pending_by_path_.contains(fs::SpellingKey{path})) {
     // The file's create (or data) has not committed yet: durability comes
     // from a direct-I/O write of the inline payload into a node-local cache
     // file; it is written back once the create lands (Section III.D.2).
@@ -598,16 +603,15 @@ sim::Task<bool> ConsistentRegion::apply_and_account(NodeState& node, const OpMes
     // exists = an idempotent replay (e.g. recovery re-commit); accept.
     ++committed_ops_;
     pending_decrement(msg.path);
-    if (sim_.tracing()) {
-      sim_.trace_note("commit op=" + std::to_string(msg.op_id) + " kind=" +
-                      to_string(msg.kind) + " path=" + msg.path + " node=" +
-                      std::to_string(node.node.value));
-    }
+    sim_.trace_note_lazy([&] {
+      return "commit op=" + std::to_string(msg.op_id) + " kind=" + to_string(msg.kind) +
+             " path=" + msg.path + " node=" + std::to_string(node.node.value);
+    });
     co_return true;
   }
-  if (sim_.tracing()) {
-    sim_.trace_note("commit-retry op=" + std::to_string(msg.op_id) + " path=" + msg.path);
-  }
+  sim_.trace_note_lazy([&] {
+    return "commit-retry op=" + std::to_string(msg.op_id) + " path=" + msg.path;
+  });
   co_return false;
 }
 
@@ -627,7 +631,7 @@ sim::Task<FsError> ConsistentRegion::apply_once(NodeState& node, const OpMessage
       auto r = co_await io.unlink(path);
       if (r || r.error() == FsError::not_found) {
         // Applied (or already gone): drop the marked cache entry now.
-        (void)co_await cache_->del(node.node, msg.path);
+        (void)co_await cache_->del(node.node, msg.path, path.hash());
         co_return FsError::ok;
       }
       co_return r.error();
@@ -637,7 +641,7 @@ sim::Task<FsError> ConsistentRegion::apply_once(NodeState& node, const OpMessage
       if (!r && r.error() == FsError::not_found) {
         // Either the create has not committed yet (retry) or another node's
         // remove already won (drop: a removed file's backup needs no data).
-        auto meta = co_await cache_get(node.node, msg.path);
+        auto meta = co_await cache_get(node.node, path);
         if (!meta || meta->removed) co_return FsError::ok;
         co_return FsError::not_found;
       }

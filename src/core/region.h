@@ -172,6 +172,11 @@ class ConsistentRegion {
  private:
   struct NodeState {
     net::NodeId node;
+    /// Commit-queue topic name and its pre-resolved bus handle: both are
+    /// fixed for the region's lifetime, so publish paths never rebuild the
+    /// topic string or re-walk the bus's topic map.
+    std::string topic;
+    net::PubSubBus<OpMessage>::TopicHandle topic_handle = nullptr;
     std::shared_ptr<net::PubSubBus<OpMessage>::Subscription> queue;
     std::unique_ptr<dfs::DfsClient> dfs_client;
     /// Sorted operation stream between the sorter and committer halves of
@@ -199,8 +204,9 @@ class ConsistentRegion {
                                               const fs::Path& path, fs::FileMode mode,
                                               fs::FileType type, bool parent_known);
 
-  /// Cache entry fetch decoding the removed-marker.
-  sim::Task<std::optional<CachedMeta>> cache_get(net::NodeId from, const std::string& key);
+  /// Cache entry fetch decoding the removed-marker; the path's cached hash
+  /// rides along so the cluster router and server skip rehashing the key.
+  sim::Task<std::optional<CachedMeta>> cache_get(net::NodeId from, const fs::Path& path);
 
   void publish(std::uint32_t client, OpMessage msg);
 
@@ -246,7 +252,8 @@ class ConsistentRegion {
 
   // Pending-commit bookkeeping: paths with queued-but-uncommitted ops are
   // protected from eviction; the drain() primitive waits on the total.
-  std::unordered_map<std::string, std::uint32_t> pending_by_path_;
+  std::unordered_map<std::string, std::uint32_t, fs::SpellingHash, fs::SpellingEq>
+      pending_by_path_;
   std::uint64_t pending_total_ = 0;
   sim::Gate drained_gate_;
 

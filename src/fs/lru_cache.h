@@ -5,8 +5,10 @@
 #include <cstddef>
 #include <list>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
+#include "fs/path.h"
 #include "sim/time.h"
 
 namespace pacon::fs {
@@ -14,10 +16,18 @@ namespace pacon::fs {
 template <typename V>
 class LruTtlCache {
  public:
-  LruTtlCache(std::size_t capacity, sim::SimDuration ttl) : capacity_(capacity), ttl_(ttl) {}
+  LruTtlCache(std::size_t capacity, sim::SimDuration ttl) : capacity_(capacity), ttl_(ttl) {
+    // Bounded by capacity, so one up-front reserve removes every growth
+    // rehash (a visible cost in figure-scale runs).
+    if (capacity_ > 0 && capacity_ <= (std::size_t{1} << 20)) map_.reserve(capacity_ + 1);
+  }
 
   /// Value for `key` if present and fresh at time `now`; nullptr otherwise.
   const V* find(const std::string& key, sim::SimTime now) {
+    return find(SpellingKey{key, sim::Rng::hash(key)}, now);
+  }
+  const V* find(const Path& path, sim::SimTime now) { return find(SpellingKey{path}, now); }
+  const V* find(const SpellingKey& key, sim::SimTime now) {
     auto it = map_.find(key);
     if (it == map_.end()) return nullptr;
     if (it->second.expires_at < now) {
@@ -31,6 +41,12 @@ class LruTtlCache {
   }
 
   void insert(const std::string& key, V value, sim::SimTime now) {
+    insert(SpellingKey{key, sim::Rng::hash(key)}, std::move(value), now);
+  }
+  void insert(const Path& path, V value, sim::SimTime now) {
+    insert(SpellingKey{path}, std::move(value), now);
+  }
+  void insert(const SpellingKey& key, V value, sim::SimTime now) {
     if (capacity_ == 0) return;
     if (auto it = map_.find(key); it != map_.end()) {
       it->second.value = std::move(value);
@@ -38,15 +54,17 @@ class LruTtlCache {
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
       return;
     }
-    lru_.push_front(key);
-    map_.emplace(key, Entry{std::move(value), now + ttl_, lru_.begin()});
+    lru_.emplace_front(key.spelling);
+    map_.emplace(lru_.front(), Entry{std::move(value), now + ttl_, lru_.begin()});
     while (map_.size() > capacity_) {
       map_.erase(lru_.back());
       lru_.pop_back();
     }
   }
 
-  void erase(const std::string& key) {
+  void erase(const std::string& key) { erase(SpellingKey{key, sim::Rng::hash(key)}); }
+  void erase(const Path& path) { erase(SpellingKey{path}); }
+  void erase(const SpellingKey& key) {
     auto it = map_.find(key);
     if (it == map_.end()) return;
     lru_.erase(it->second.lru_pos);
@@ -70,7 +88,7 @@ class LruTtlCache {
 
   std::size_t capacity_;
   sim::SimDuration ttl_;
-  std::unordered_map<std::string, Entry> map_;
+  std::unordered_map<std::string, Entry, SpellingHash, SpellingEq> map_;
   std::list<std::string> lru_;
   std::uint64_t hits_ = 0;
 };

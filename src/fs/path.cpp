@@ -1,7 +1,5 @@
 #include "fs/path.h"
 
-#include <algorithm>
-
 // GCC 12's -Wrestrict misfires on the inlined std::string append in parse()
 // at -O2 (GCC PR105651); nothing here aliases.
 #if defined(__GNUC__) && !defined(__clang__)
@@ -16,6 +14,43 @@ bool component_ok(std::string_view c) {
 }
 
 }  // namespace
+
+void Path::index() {
+  hash_ = 0;
+  parent_hash_ = 0;
+  depth_ = 0;
+  name_off_ = 0;
+  if (repr_.empty()) return;  // invalid
+  // One fused scan: FNV-1a (must match sim::Rng::hash over the same bytes),
+  // '/' count, the offset just past the last '/', and the FNV state just
+  // before the last '/' -- which *is* the parent spelling's hash, since
+  // FNV-1a over a prefix equals the intermediate state at that byte.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  std::uint64_t h_before_slash = 0;
+  std::uint64_t h_root = 0;
+  std::uint32_t slashes = 0;
+  std::uint32_t last_slash = 0;
+  for (std::size_t i = 0; i < repr_.size(); ++i) {
+    const auto c = static_cast<unsigned char>(repr_[i]);
+    if (c == '/' && i > 0) {
+      ++slashes;
+      last_slash = static_cast<std::uint32_t>(i);
+      h_before_slash = h;
+    }
+    h ^= c;
+    h *= 0x100000001B3ull;
+    if (i == 0) {
+      ++slashes;  // the leading '/'
+      h_root = h;  // hash of "/" alone
+    }
+  }
+  hash_ = h;
+  depth_ = repr_.size() == 1 ? 0 : slashes;  // "/" alone is depth 0
+  name_off_ = last_slash + 1;
+  // Root and depth-1 paths both have "/" as parent spelling (root is its own
+  // parent, matching parent()).
+  parent_hash_ = name_off_ == 1 ? h_root : h_before_slash;
+}
 
 Path Path::parse(std::string_view raw) {
   if (raw.empty() || raw.front() != '/') return Path(std::string{});
@@ -36,20 +71,9 @@ Path Path::parse(std::string_view raw) {
   return Path(std::move(canon));
 }
 
-std::size_t Path::depth() const {
-  if (is_root()) return 0;
-  return static_cast<std::size_t>(std::count(repr_.begin(), repr_.end(), '/'));
-}
-
-std::string_view Path::name() const {
-  if (is_root()) return {};
-  const auto pos = repr_.rfind('/');
-  return std::string_view(repr_).substr(pos + 1);
-}
-
 Path Path::parent() const {
   if (is_root()) return Path();
-  const auto pos = repr_.rfind('/');
+  const std::size_t pos = name_off_ - 1;  // the '/' before the final component
   if (pos == 0) return Path();
   return Path(repr_.substr(0, pos));
 }
@@ -65,6 +89,7 @@ Path Path::child(std::string_view component) const {
 std::vector<std::string_view> Path::components() const {
   std::vector<std::string_view> out;
   if (is_root() || !valid()) return out;
+  out.reserve(depth_);
   const std::string_view s(repr_);
   std::size_t i = 1;  // skip leading slash
   while (i <= s.size()) {
@@ -82,6 +107,7 @@ std::vector<std::string_view> Path::components() const {
 bool Path::is_prefix_of(const Path& other) const {
   if (!valid() || !other.valid()) return false;
   if (is_root()) return true;
+  if (depth_ > other.depth_) return false;  // cheap reject before memcmp
   if (other.repr_.size() < repr_.size()) return false;
   if (!other.repr_.starts_with(repr_)) return false;
   return other.repr_.size() == repr_.size() || other.repr_[repr_.size()] == '/';

@@ -4,19 +4,27 @@
 // path type is central: it guarantees a canonical spelling ("/a/b", no
 // trailing slash, no empty/dot components) and offers cheap component and
 // prefix queries used by region routing and permission checks.
+//
+// Construction indexes the spelling once (FNV-1a hash, component count,
+// final-component offset), so the per-operation queries -- hashing for the
+// DHT ring and cache shards, depth(), name(), parent() -- are O(1) instead
+// of re-scanning the string each call.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "sim/random.h"
 
 namespace pacon::fs {
 
 class Path {
  public:
   /// The filesystem root, "/".
-  Path() : repr_("/") {}
+  Path() : Path(std::string("/")) {}
 
   /// Parses and normalizes `raw`. Accepts absolute paths only; relative
   /// input, "." / ".." components and repeated slashes are normalized away
@@ -26,19 +34,37 @@ class Path {
   /// True when construction produced a canonical absolute path.
   bool valid() const { return !repr_.empty(); }
 
-  bool is_root() const { return repr_ == "/"; }
+  bool is_root() const { return repr_.size() == 1 && repr_[0] == '/'; }
 
   /// Canonical spelling; "/" for the root.
   const std::string& str() const { return repr_; }
 
-  /// Number of components; 0 for the root.
-  std::size_t depth() const;
+  /// Cached FNV-1a hash of the canonical spelling. Invariant (relied on by
+  /// the DHT ring and the memcache shard router): hash() ==
+  /// sim::Rng::hash(str()).
+  std::uint64_t hash() const { return hash_; }
 
-  /// Final component ("" for the root).
-  std::string_view name() const;
+  /// Number of components; 0 for the root. O(1).
+  std::size_t depth() const { return depth_; }
+
+  /// Final component ("" for the root). O(1).
+  std::string_view name() const {
+    if (is_root() || !valid()) return {};
+    return std::string_view(repr_).substr(name_off_);
+  }
 
   /// Parent path; the root is its own parent.
   Path parent() const;
+
+  /// The parent's canonical spelling as a view into this path's storage --
+  /// lets hot lookups key on the parent without constructing a Path.
+  std::string_view parent_view() const {
+    if (!valid()) return {};
+    return std::string_view(repr_).substr(0, name_off_ == 1 ? 1 : name_off_ - 1);
+  }
+
+  /// Cached hash of parent_view(); equals parent().hash(). O(1).
+  std::uint64_t parent_hash() const { return parent_hash_; }
 
   /// Child of this path. `component` must be a single plain component.
   Path child(std::string_view component) const;
@@ -53,13 +79,51 @@ class Path {
   /// is_prefix_of(other).
   std::string_view relative_to(const Path& prefix) const;
 
-  friend bool operator==(const Path&, const Path&) = default;
-  friend auto operator<=>(const Path&, const Path&) = default;
+  /// Equality fast-rejects on the cached hash before comparing spellings.
+  friend bool operator==(const Path& a, const Path& b) {
+    return a.hash_ == b.hash_ && a.repr_ == b.repr_;
+  }
+  friend auto operator<=>(const Path& a, const Path& b) { return a.repr_ <=> b.repr_; }
 
  private:
-  explicit Path(std::string repr) : repr_(std::move(repr)) {}
+  explicit Path(std::string repr) : repr_(std::move(repr)) { index(); }
+
+  /// Single pass over repr_ filling the derived fields.
+  void index();
 
   std::string repr_;  // canonical, or empty for invalid
+  std::uint64_t hash_ = 0;
+  std::uint64_t parent_hash_ = 0;
+  std::uint32_t depth_ = 0;
+  std::uint32_t name_off_ = 0;  // offset of the final component within repr_
+};
+
+/// A path spelling paired with its pre-computed sim::Rng::hash -- the
+/// transparent-lookup key for string-keyed tables whose callers hold a Path
+/// (or a cached hash) and must not re-hash or materialize a std::string.
+struct SpellingKey {
+  std::string_view spelling;
+  std::uint64_t hash;
+
+  explicit SpellingKey(const Path& p) : spelling(p.str()), hash(p.hash()) {}
+  SpellingKey(std::string_view s, std::uint64_t h) : spelling(s), hash(h) {}
+};
+
+/// Transparent hasher for std::string-keyed maps accepting SpellingKey
+/// probes. Plain strings hash through sim::Rng::hash so both key forms agree.
+struct SpellingHash {
+  using is_transparent = void;
+  std::size_t operator()(const std::string& s) const {
+    return static_cast<std::size_t>(sim::Rng::hash(s));
+  }
+  std::size_t operator()(const SpellingKey& k) const { return static_cast<std::size_t>(k.hash); }
+};
+
+struct SpellingEq {
+  using is_transparent = void;
+  bool operator()(const std::string& a, const std::string& b) const { return a == b; }
+  bool operator()(const SpellingKey& a, const std::string& b) const { return a.spelling == b; }
+  bool operator()(const std::string& a, const SpellingKey& b) const { return a == b.spelling; }
 };
 
 }  // namespace pacon::fs
@@ -67,6 +131,6 @@ class Path {
 template <>
 struct std::hash<pacon::fs::Path> {
   std::size_t operator()(const pacon::fs::Path& p) const noexcept {
-    return std::hash<std::string>{}(p.str());
+    return static_cast<std::size_t>(p.hash());
   }
 };

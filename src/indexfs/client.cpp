@@ -72,7 +72,7 @@ sim::Task<FsResult<fs::InodeAttr>> IndexFsClient::resolve(const fs::Path& path) 
     fs::Path probe = path;
     std::size_t remaining = comps.size();
     while (!probe.is_root()) {
-      if (const fs::InodeAttr* hit = cache_.find(probe.str(), sim_.now())) {
+      if (const fs::InodeAttr* hit = cache_.find(probe, sim_.now())) {
         current = *hit;
         start = remaining;
         break;
@@ -90,7 +90,7 @@ sim::Task<FsResult<fs::InodeAttr>> IndexFsClient::resolve(const fs::Path& path) 
     if (!next) co_return next;
     current = *next;
     walked = walked.child(comps[i]);
-    cache_.insert(walked.str(), current, sim_.now());
+    cache_.insert(walked, current, sim_.now());
   }
   co_return current;
 }
@@ -123,7 +123,7 @@ sim::Task<FsResult<fs::InodeAttr>> IndexFsClient::create_common(const fs::Path& 
     attr.ctime = sim_.now();
     attr.mtime = sim_.now();
     pending_.push_back(PendingRow{parent->ino, p, name, attr});
-    cache_.insert(path.str(), attr, sim_.now());
+    cache_.insert(path, attr, sim_.now());
     if (pending_.size() >= cluster_.config().bulk_batch_size) {
       auto flushed = co_await flush();
       if (!flushed) co_return fs::fail(flushed.error());
@@ -142,7 +142,7 @@ sim::Task<FsResult<fs::InodeAttr>> IndexFsClient::create_common(const fs::Path& 
   ++rpcs_;
   const IfsResponse resp = co_await cluster_.server_for(parent->ino, p).call(node_, std::move(req));
   if (resp.status != FsError::ok) co_return fs::fail(resp.status);
-  cache_.insert(path.str(), resp.attr, sim_.now());
+  cache_.insert(path, resp.attr, sim_.now());
   co_return resp.attr;
 }
 
@@ -165,7 +165,7 @@ sim::Task<FsResult<fs::InodeAttr>> IndexFsClient::getattr(const fs::Path& path) 
   if (!parent) co_return parent;
   if (!parent->is_dir()) co_return fs::fail(FsError::not_a_directory);
   auto leaf = co_await lookup_component(parent->ino, *parent, std::string(path.name()));
-  if (leaf) cache_.insert(path.str(), *leaf, sim_.now());
+  if (leaf) cache_.insert(path, *leaf, sim_.now());
   co_return leaf;
 }
 
@@ -199,7 +199,7 @@ sim::Task<FsResult<void>> IndexFsClient::unlink(const fs::Path& path) {
       const IfsResponse resp =
           co_await cluster_.server_for(parent->ino, p).call(node_, std::move(req));
       if (resp.status == FsError::ok) {
-        cache_.erase(path.str());
+        cache_.erase(path);
         co_return FsResult<void>{};
       }
       if (resp.status != FsError::not_found) co_return fs::fail(resp.status);

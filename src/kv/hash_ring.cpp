@@ -7,6 +7,14 @@
 
 namespace pacon::kv {
 
+namespace {
+
+bool point_less(const std::pair<std::uint64_t, net::NodeId>& a, std::uint64_t b) {
+  return a.first < b;
+}
+
+}  // namespace
+
 std::uint64_t HashRing::point(net::NodeId node, std::uint32_t replica) {
   // Mix node and replica through splitmix-style avalanche.
   std::uint64_t x = (static_cast<std::uint64_t>(node.value) << 32) | replica;
@@ -21,20 +29,28 @@ std::uint64_t HashRing::point(net::NodeId node, std::uint32_t replica) {
 void HashRing::add_node(net::NodeId node) {
   if (std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end()) return;
   nodes_.push_back(node);
-  for (std::uint32_t r = 0; r < vnodes_; ++r) ring_.emplace(point(node, r), node);
+  for (std::uint32_t r = 0; r < vnodes_; ++r) {
+    const std::uint64_t p = point(node, r);
+    auto it = std::lower_bound(ring_.begin(), ring_.end(), p, point_less);
+    // Keep the first owner on a (vanishingly unlikely) point collision --
+    // same tie-break the former std::map::emplace applied.
+    if (it != ring_.end() && it->first == p) continue;
+    ring_.insert(it, {p, node});
+  }
 }
 
 void HashRing::remove_node(net::NodeId node) {
   std::erase(nodes_, node);
-  for (auto it = ring_.begin(); it != ring_.end();) {
-    it = it->second == node ? ring_.erase(it) : std::next(it);
-  }
+  std::erase_if(ring_, [node](const auto& e) { return e.second == node; });
 }
 
 net::NodeId HashRing::node_for(std::string_view key) const {
+  return node_for_hash(sim::Rng::hash(key));
+}
+
+net::NodeId HashRing::node_for_hash(std::uint64_t hash) const {
   assert(!ring_.empty());
-  const std::uint64_t h = sim::Rng::hash(key);
-  auto it = ring_.lower_bound(h);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), hash, point_less);
   if (it == ring_.end()) it = ring_.begin();  // wrap around
   return it->second;
 }

@@ -4,11 +4,16 @@
 // contributes `vnodes` points on a 64-bit ring; a key is owned by the first
 // point clockwise from its hash. Adding or removing one node remaps only
 // ~1/N of the keyspace.
+//
+// The ring itself is a sorted flat vector: lookups are a cache-friendly
+// binary search (membership changes are rare and pay the insertion cost).
+// Callers that already know a key's hash -- fs::Path caches it -- use
+// node_for_hash() and skip rehashing the key entirely.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "net/fabric.h"
@@ -29,11 +34,16 @@ class HashRing {
   /// Owner of `key`. Requires a non-empty ring.
   net::NodeId node_for(std::string_view key) const;
 
+  /// Owner of a key whose hash (sim::Rng::hash of the key bytes) is already
+  /// known. Must agree with node_for(key) for hash == Rng::hash(key).
+  net::NodeId node_for_hash(std::uint64_t hash) const;
+
  private:
   static std::uint64_t point(net::NodeId node, std::uint32_t replica);
 
   std::uint32_t vnodes_;
-  std::map<std::uint64_t, net::NodeId> ring_;
+  /// (ring point, owner), sorted ascending by point; points are unique.
+  std::vector<std::pair<std::uint64_t, net::NodeId>> ring_;
   std::vector<net::NodeId> nodes_;
 };
 

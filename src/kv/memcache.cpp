@@ -6,7 +6,12 @@ namespace pacon::kv {
 
 MemCacheServer::MemCacheServer(sim::Simulation& sim, net::Fabric& fabric, net::NodeId node,
                                KvConfig config)
-    : sim_(sim), node_(node), config_(config) {
+    : sim_(sim),
+      node_(node),
+      config_(config),
+      hits_(sim.metrics().counter("kv.hits")),
+      misses_(sim.metrics().counter("kv.misses")),
+      stores_(sim.metrics().counter("kv.stores")) {
   net::RpcService<KvRequest, KvResponse>::Config rpc_cfg;
   rpc_cfg.workers = config_.workers;
   rpc_ = std::make_unique<net::RpcService<KvRequest, KvResponse>>(
@@ -17,15 +22,22 @@ MemCacheServer::MemCacheServer(sim::Simulation& sim, net::Fabric& fabric, net::N
         co_return apply(req);
       },
       rpc_cfg);
+  // Pre-size the item table: growth rehashes of a multi-million-entry
+  // string-keyed map dominate store cost in metadata-heavy runs.
+  items_.reserve(1u << 16);
 }
 
 KvResponse MemCacheServer::apply(const KvRequest& req) {
   using Op = KvRequest::Op;
   switch (req.op) {
     case Op::get: {
-      auto it = items_.find(req.key);
-      if (it == items_.end()) return KvResponse{KvStatus::not_found, {}, 0, 0};
-      touch_lru(req.key, it->second);
+      auto it = find_item(req);
+      if (it == items_.end()) {
+        misses_.add();
+        return KvResponse{KvStatus::not_found, {}, 0, 0};
+      }
+      hits_.add();
+      touch_lru(it->first, it->second);
       return KvResponse{KvStatus::ok, it->second.value, it->second.cas, it->second.flags};
     }
     case Op::set:
@@ -37,9 +49,9 @@ KvResponse MemCacheServer::apply(const KvRequest& req) {
     case Op::cas:
       return store(req, /*must_exist=*/true, /*must_not_exist=*/false, /*check_cas=*/true);
     case Op::del: {
-      auto it = items_.find(req.key);
+      auto it = find_item(req);
       if (it == items_.end()) return KvResponse{KvStatus::not_found, {}, 0, 0};
-      erase_item(req.key);
+      erase_item(it->first);
       return KvResponse{KvStatus::ok, {}, 0, 0};
     }
   }
@@ -48,7 +60,7 @@ KvResponse MemCacheServer::apply(const KvRequest& req) {
 
 KvResponse MemCacheServer::store(const KvRequest& req, bool must_exist, bool must_not_exist,
                                  bool check_cas) {
-  auto it = items_.find(req.key);
+  auto it = find_item(req);
   if (must_exist && it == items_.end()) return KvResponse{KvStatus::not_found, {}, 0, 0};
   if (must_not_exist && it != items_.end()) return KvResponse{KvStatus::exists, {}, 0, 0};
   if (check_cas && it->second.cas != req.cas) {
@@ -72,6 +84,7 @@ KvResponse MemCacheServer::store(const KvRequest& req, bool must_exist, bool mus
   Item item{req.value, next_cas_++, req.flags, lru_.begin()};
   bytes_used_ += new_size;
   it = items_.emplace(req.key, std::move(item)).first;
+  stores_.add();
   return KvResponse{KvStatus::ok, {}, it->second.cas, it->second.flags};
 }
 
@@ -112,7 +125,8 @@ MemCacheCluster::MemCacheCluster(sim::Simulation& sim, net::Fabric& fabric, KvCo
 
 MemCacheServer& MemCacheCluster::add_server(net::NodeId node) {
   servers_.push_back(std::make_unique<MemCacheServer>(sim_, fabric_, node, config_));
-  by_node_[node] = servers_.back().get();
+  if (node.value >= by_node_.size()) by_node_.resize(node.value + 1, nullptr);
+  by_node_[node.value] = servers_.back().get();
   ring_.add_node(node);
   return *servers_.back();
 }
@@ -120,40 +134,48 @@ MemCacheServer& MemCacheCluster::add_server(net::NodeId node) {
 void MemCacheCluster::remove_server(net::NodeId node) { ring_.remove_node(node); }
 
 MemCacheServer& MemCacheCluster::server_on(net::NodeId node) {
-  auto it = by_node_.find(node);
-  assert(it != by_node_.end());
-  return *it->second;
+  assert(node.value < by_node_.size() && by_node_[node.value] != nullptr);
+  return *by_node_[node.value];
 }
 
 sim::Task<KvResponse> MemCacheCluster::route(net::NodeId from, KvRequest req) {
   assert(!ring_.empty());
-  MemCacheServer& server = server_on(ring_.node_for(req.key));
+  // Route on the caller-supplied hash when present; fill it in otherwise so
+  // the server's item table reuses it too.
+  if (req.key_hash == 0) req.key_hash = sim::Rng::hash(req.key);
+  MemCacheServer& server = server_on(ring_.node_for_hash(req.key_hash));
   co_return co_await server.call(from, std::move(req));
 }
 
-sim::Task<KvResponse> MemCacheCluster::get(net::NodeId from, std::string key) {
-  return route(from, KvRequest{KvRequest::Op::get, std::move(key), {}, 0, 0});
+sim::Task<KvResponse> MemCacheCluster::get(net::NodeId from, std::string key,
+                                           std::uint64_t key_hash) {
+  return route(from, KvRequest{KvRequest::Op::get, std::move(key), {}, 0, 0, key_hash});
 }
 sim::Task<KvResponse> MemCacheCluster::set(net::NodeId from, std::string key, std::string value,
-                                           std::uint32_t flags) {
-  return route(from, KvRequest{KvRequest::Op::set, std::move(key), std::move(value), 0, flags});
+                                           std::uint32_t flags, std::uint64_t key_hash) {
+  return route(from,
+               KvRequest{KvRequest::Op::set, std::move(key), std::move(value), 0, flags, key_hash});
 }
 sim::Task<KvResponse> MemCacheCluster::add(net::NodeId from, std::string key, std::string value,
-                                           std::uint32_t flags) {
-  return route(from, KvRequest{KvRequest::Op::add, std::move(key), std::move(value), 0, flags});
+                                           std::uint32_t flags, std::uint64_t key_hash) {
+  return route(from,
+               KvRequest{KvRequest::Op::add, std::move(key), std::move(value), 0, flags, key_hash});
 }
 sim::Task<KvResponse> MemCacheCluster::replace(net::NodeId from, std::string key,
-                                               std::string value, std::uint32_t flags) {
-  return route(from,
-               KvRequest{KvRequest::Op::replace, std::move(key), std::move(value), 0, flags});
+                                               std::string value, std::uint32_t flags,
+                                               std::uint64_t key_hash) {
+  return route(from, KvRequest{KvRequest::Op::replace, std::move(key), std::move(value), 0, flags,
+                               key_hash});
 }
-sim::Task<KvResponse> MemCacheCluster::del(net::NodeId from, std::string key) {
-  return route(from, KvRequest{KvRequest::Op::del, std::move(key), {}, 0, 0});
+sim::Task<KvResponse> MemCacheCluster::del(net::NodeId from, std::string key,
+                                           std::uint64_t key_hash) {
+  return route(from, KvRequest{KvRequest::Op::del, std::move(key), {}, 0, 0, key_hash});
 }
 sim::Task<KvResponse> MemCacheCluster::cas(net::NodeId from, std::string key, std::string value,
-                                           std::uint64_t version, std::uint32_t flags) {
-  return route(from,
-               KvRequest{KvRequest::Op::cas, std::move(key), std::move(value), version, flags});
+                                           std::uint64_t version, std::uint32_t flags,
+                                           std::uint64_t key_hash) {
+  return route(from, KvRequest{KvRequest::Op::cas, std::move(key), std::move(value), version,
+                               flags, key_hash});
 }
 
 std::uint64_t MemCacheCluster::total_bytes_used() const {

@@ -57,6 +57,37 @@ struct KvRequest {
   std::string value;
   std::uint64_t cas = 0;
   std::uint32_t flags = 0;
+  /// Pre-computed sim::Rng::hash(key), or 0 for "unknown". Callers that hold
+  /// a fs::Path pass its cached hash so neither the ring router nor the
+  /// server's item table rehashes the key string.
+  std::uint64_t key_hash = 0;
+};
+
+/// Heterogeneous lookup key carrying an already-computed hash.
+struct PrehashedKey {
+  std::string_view key;
+  std::uint64_t hash;  // == sim::Rng::hash(key)
+};
+
+/// Transparent hasher/equality for the item table: plain strings hash with
+/// sim::Rng::hash (the cluster-wide key hash), PrehashedKey skips the work.
+struct KvKeyHash {
+  using is_transparent = void;
+  std::size_t operator()(const std::string& s) const noexcept {
+    return static_cast<std::size_t>(sim::Rng::hash(s));
+  }
+  std::size_t operator()(std::string_view s) const noexcept {
+    return static_cast<std::size_t>(sim::Rng::hash(s));
+  }
+  std::size_t operator()(const PrehashedKey& k) const noexcept {
+    return static_cast<std::size_t>(k.hash);
+  }
+};
+struct KvKeyEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const noexcept { return a == b; }
+  bool operator()(const PrehashedKey& a, std::string_view b) const noexcept { return a.key == b; }
+  bool operator()(std::string_view a, const PrehashedKey& b) const noexcept { return a == b.key; }
 };
 
 struct KvResponse {
@@ -102,8 +133,15 @@ class MemCacheServer {
     std::list<std::string>::iterator lru_pos;
   };
 
+  using ItemMap = std::unordered_map<std::string, Item, KvKeyHash, KvKeyEq>;
+
   std::uint64_t item_footprint(const std::string& key, const std::string& value) const {
     return key.size() + value.size() + config_.item_overhead_bytes;
+  }
+  /// Table lookup using the request's pre-computed hash when present.
+  ItemMap::iterator find_item(const KvRequest& req) {
+    if (req.key_hash != 0) return items_.find(PrehashedKey{req.key, req.key_hash});
+    return items_.find(req.key);
   }
   void touch_lru(const std::string& key, Item& item);
   bool make_room(std::uint64_t need);
@@ -114,11 +152,16 @@ class MemCacheServer {
   sim::Simulation& sim_;
   net::NodeId node_;
   KvConfig config_;
-  std::unordered_map<std::string, Item> items_;
+  ItemMap items_;
   std::list<std::string> lru_;  // front = most recent
   std::uint64_t bytes_used_ = 0;
   std::uint64_t next_cas_ = 1;
   std::uint64_t evictions_ = 0;
+  // Metric handles resolved once at construction (registry lookups are
+  // string-keyed map walks; the refs stay valid for the registry's life).
+  sim::Counter& hits_;
+  sim::Counter& misses_;
+  sim::Counter& stores_;
   std::unique_ptr<net::RpcService<KvRequest, KvResponse>> rpc_;
 };
 
@@ -138,17 +181,20 @@ class MemCacheCluster {
   const HashRing& ring() const { return ring_; }
   MemCacheServer& server_on(net::NodeId node);
 
-  /// Cluster ops, issued from `from`; routed by key hash.
-  sim::Task<KvResponse> get(net::NodeId from, std::string key);
+  /// Cluster ops, issued from `from`; routed by key hash. The trailing
+  /// `key_hash` (sim::Rng::hash of the key, e.g. fs::Path::hash()) lets the
+  /// router and server skip rehashing; 0 = compute here.
+  sim::Task<KvResponse> get(net::NodeId from, std::string key, std::uint64_t key_hash = 0);
   sim::Task<KvResponse> set(net::NodeId from, std::string key, std::string value,
-                            std::uint32_t flags = 0);
+                            std::uint32_t flags = 0, std::uint64_t key_hash = 0);
   sim::Task<KvResponse> add(net::NodeId from, std::string key, std::string value,
-                            std::uint32_t flags = 0);
+                            std::uint32_t flags = 0, std::uint64_t key_hash = 0);
   sim::Task<KvResponse> replace(net::NodeId from, std::string key, std::string value,
-                                std::uint32_t flags = 0);
-  sim::Task<KvResponse> del(net::NodeId from, std::string key);
+                                std::uint32_t flags = 0, std::uint64_t key_hash = 0);
+  sim::Task<KvResponse> del(net::NodeId from, std::string key, std::uint64_t key_hash = 0);
   sim::Task<KvResponse> cas(net::NodeId from, std::string key, std::string value,
-                            std::uint64_t version, std::uint32_t flags = 0);
+                            std::uint64_t version, std::uint32_t flags = 0,
+                            std::uint64_t key_hash = 0);
 
   std::uint64_t total_bytes_used() const;
   std::uint64_t total_items() const;
@@ -161,7 +207,9 @@ class MemCacheCluster {
   KvConfig config_;
   HashRing ring_;
   std::vector<std::unique_ptr<MemCacheServer>> servers_;
-  std::unordered_map<net::NodeId, MemCacheServer*> by_node_;
+  // Dense NodeId.value -> server routing table (node ids are small and
+  // contiguous in practice); server_on is on the per-op request path.
+  std::vector<MemCacheServer*> by_node_;
 };
 
 }  // namespace pacon::kv

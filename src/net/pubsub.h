@@ -43,11 +43,19 @@ class PubSubBus {
 
    private:
     friend class PubSubBus;
+
+    // Earliest admissible delivery time for publisher `from`, preserving
+    // FIFO. Publisher ids are small and dense, so a flat vector (grown on
+    // demand) replaces the former std::map lookup on every publish.
+    sim::SimTime& last_from(std::uint32_t from) {
+      if (from >= last_delivery_.size()) last_delivery_.resize(from + 1, 0);
+      return last_delivery_[from];
+    }
+
     NodeId node_;
     std::uint64_t id_;
     sim::Channel<M> inbox_;
-    // Earliest admissible delivery time per publisher, preserving FIFO.
-    std::map<std::uint32_t, sim::SimTime> last_delivery_;
+    std::vector<sim::SimTime> last_delivery_;
   };
 
   PubSubBus(sim::Simulation& sim, Fabric& fabric) : sim_(sim), fabric_(fabric) {}
@@ -70,21 +78,46 @@ class PubSubBus {
     sub->inbox_.close();
   }
 
+  /// Stable handle to a topic's subscriber list; lets a hot publisher skip
+  /// the by-name map lookup on every publish. The pointee lives as long as
+  /// the bus (map nodes are never erased, only their vectors mutate).
+  using TopicHandle = std::vector<std::shared_ptr<Subscription>>*;
+  TopicHandle topic_handle(const std::string& topic) { return &topics_[topic]; }
+
   /// Publishes `msg` from `from` to every subscription of `topic`.
   /// Returns the number of subscriptions addressed. Local cost to the caller
-  /// is zero; wire time is charged on the delivery path.
-  std::size_t publish(NodeId from, const std::string& topic, const M& msg,
-                      std::size_t bytes = 256) {
+  /// is zero; wire time is charged on the delivery path. Takes the message
+  /// by value: it is *moved* into the last reachable delivery, so a
+  /// single-subscriber topic (the common Pacon commit-queue shape) forwards
+  /// a moved-in message with zero copies.
+  std::size_t publish(NodeId from, const std::string& topic, M msg, std::size_t bytes = 256) {
     auto it = topics_.find(topic);
     if (it == topics_.end()) return 0;
+    return publish(from, &it->second, std::move(msg), bytes);
+  }
+
+  /// Publish via a pre-resolved TopicHandle (no map lookup).
+  std::size_t publish(NodeId from, TopicHandle topic, M msg, std::size_t bytes = 256) {
+    auto& subs = *topic;
+    // Find the last reachable subscriber first so the message can be moved
+    // into that delivery; every earlier one gets a copy.
+    std::size_t last_idx = subs.size();
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      if (fabric_.reachable(from, subs[i]->node())) last_idx = i;
+    }
+    if (last_idx == subs.size()) return 0;
     std::size_t delivered = 0;
-    for (auto& sub : it->second) {
+    for (std::size_t i = 0; i <= last_idx; ++i) {
+      auto& sub = subs[i];
       if (!fabric_.reachable(from, sub->node())) continue;
       const sim::SimTime earliest = sim_.now() + fabric_.one_way(from, sub->node(), bytes);
-      sim::SimTime& last = sub->last_delivery_[from.value];
+      sim::SimTime& last = sub->last_from(from.value);
       const sim::SimTime at = std::max(earliest, last + 1);
       last = at;
-      sim_.schedule_callback(at, [sub, msg] { sub->inbox_.try_send(M(msg)); });
+      M payload = (i == last_idx) ? std::move(msg) : msg;
+      sim_.schedule_callback(at, [sub = sub, m = std::move(payload)]() mutable {
+        sub->inbox_.try_send(std::move(m));
+      });
       ++delivered;
     }
     return delivered;

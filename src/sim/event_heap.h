@@ -1,0 +1,178 @@
+// Event queue specialized for kernel events: a sorted near-ring in front of
+// a 4-ary implicit min-heap.
+//
+// The event record is deliberately slim (24 bytes: timestamp, sequence
+// number, one tagged pointer-sized payload), and the queue exploits the
+// dominant scheduling pattern of a discrete-event kernel: timestamps are
+// pushed in nearly sorted order (a dispatched process reschedules itself a
+// bounded delay ahead of a monotonically advancing clock). A push first
+// tries a bounded backward scan from the tail of a sorted ring; in the
+// common case the insertion point is within a few slots and the push is a
+// tiny memmove with no sift at all. Pushes that would scan further --
+// deep queues, far-future timers -- overflow to a 4-ary min-heap (children
+// of a node are contiguous, so a whole sift level is one cache line). Pop
+// takes the smaller of the two front events, so the structure split is
+// invisible to callers.
+//
+// Ordering contract (determinism-critical): events pop in strictly
+// increasing (at, seq) order. Both substructures pop exact minima of their
+// contents and the final one-compare merge picks the global minimum, so
+// because `seq` is unique per event the pop sequence is *identical* to the
+// former std::priority_queue implementation -- FIFO tie-break at equal
+// timestamps is preserved byte-for-byte in determinism traces.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pacon::sim {
+
+/// One pending kernel event. `payload` is a tagged pointer: low bit clear =
+/// a coroutine handle address (frames are at least pointer-aligned); low bit
+/// set = (callback slot index << 1) | 1 into the kernel's callback pool.
+struct KernelEvent {
+  SimTime at;
+  std::uint64_t seq;
+  std::uintptr_t payload;
+
+  bool is_callback() const { return (payload & 1u) != 0; }
+  std::uint32_t callback_slot() const { return static_cast<std::uint32_t>(payload >> 1); }
+  void* handle_address() const { return reinterpret_cast<void*>(payload); }
+
+  static std::uintptr_t encode_handle(void* address) {
+    const auto p = reinterpret_cast<std::uintptr_t>(address);
+    assert((p & 1u) == 0 && "coroutine frames are at least 2-byte aligned");
+    return p;
+  }
+  static std::uintptr_t encode_callback(std::uint32_t slot) {
+    return (static_cast<std::uintptr_t>(slot) << 1) | 1u;
+  }
+
+  /// Strict total order: earlier time first, FIFO (sequence) tie-break.
+  friend bool event_before(const KernelEvent& a, const KernelEvent& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+};
+
+class EventHeap {
+ public:
+  bool empty() const { return head_ == near_.size() && v_.empty(); }
+  std::size_t size() const { return (near_.size() - head_) + v_.size(); }
+
+  const KernelEvent& top() const {
+    assert(!empty());
+    if (head_ == near_.size()) return v_.front();
+    if (v_.empty() || event_before(near_[head_], v_.front())) return near_[head_];
+    return v_.front();
+  }
+
+  void push(KernelEvent e) {
+    // Fast path: bounded backward scan from the sorted ring's tail. One
+    // compare against the event at the scan floor decides up front whether
+    // the insertion point is within budget; if not, the push overflows to
+    // the heap having cost a single compare, so deep queues pay almost
+    // nothing for the ring. Within budget, the insert is a tiny memmove
+    // with no sift at all.
+    const std::size_t begin = head_;
+    std::size_t i = near_.size();
+    if (i - begin > kNearScan && event_before(e, near_[i - kNearScan - 1])) {
+      heap_push(e);
+      return;
+    }
+    while (i > begin && event_before(e, near_[i - 1])) --i;
+    near_.insert(near_.begin() + static_cast<std::ptrdiff_t>(i), e);
+  }
+
+  KernelEvent pop() {
+    assert(!empty());
+    if (head_ == near_.size()) return heap_pop();
+    if (!v_.empty() && event_before(v_.front(), near_[head_])) return heap_pop();
+    const KernelEvent out = near_[head_++];
+    if (head_ == near_.size()) {
+      near_.clear();
+      head_ = 0;
+    } else if (head_ >= 1024 && head_ * 2 >= near_.size()) {
+      near_.erase(near_.begin(), near_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    return out;
+  }
+
+  void clear() {
+    near_.clear();
+    head_ = 0;
+    v_.clear();
+  }
+
+  /// Visits every queued event in unspecified order (teardown bookkeeping).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = head_; i < near_.size(); ++i) f(near_[i]);
+    for (const KernelEvent& e : v_) f(e);
+  }
+
+ private:
+  static constexpr std::size_t kArity = 4;
+  /// Tail-scan budget for the near-ring; bounds both the scan and the
+  /// memmove a ring insert can cost. Purely a placement policy -- pop order
+  /// is the exact (at, seq) minimum regardless of which side an event is on.
+  static constexpr std::size_t kNearScan = 8;
+
+  void heap_push(KernelEvent e) {
+    v_.push_back(e);
+    sift_up(v_.size() - 1);
+  }
+
+  KernelEvent heap_pop() {
+    KernelEvent out = v_.front();
+    KernelEvent last = v_.back();
+    v_.pop_back();
+    if (!v_.empty()) {
+      v_.front() = last;
+      sift_down(0);
+    }
+    return out;
+  }
+
+  void sift_up(std::size_t i) {
+    const KernelEvent e = v_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!event_before(e, v_[parent])) break;
+      v_[i] = v_[parent];
+      i = parent;
+    }
+    v_[i] = e;
+  }
+
+  void sift_down(std::size_t i) {
+    const KernelEvent e = v_[i];
+    const std::size_t n = v_.size();
+    for (;;) {
+      const std::size_t first = i * kArity + 1;
+      if (first >= n) break;
+      const std::size_t last = std::min(first + kArity, n);
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (event_before(v_[c], v_[best])) best = c;
+      }
+      if (!event_before(v_[best], e)) break;
+      v_[i] = v_[best];
+      i = best;
+    }
+    v_[i] = e;
+  }
+
+  std::vector<KernelEvent> near_;  // sorted ascending; live range [head_, size)
+  std::size_t head_ = 0;
+  std::vector<KernelEvent> v_;  // 4-ary min-heap overflow
+};
+
+}  // namespace pacon::sim

@@ -89,15 +89,6 @@ bool Rng::chance(double p) {
   return uniform01() < p;
 }
 
-std::uint64_t Rng::hash(std::string_view s) {
-  std::uint64_t h = 0xCBF29CE484222325ull;
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001B3ull;
-  }
-  return h;
-}
-
 ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta) : n_(n), theta_(theta) {
   assert(n >= 1);
   assert(theta >= 0.0 && theta < 1.0);

@@ -47,8 +47,17 @@ class Rng {
   /// True with probability `p` (clamped to [0, 1]).
   bool chance(double p);
 
-  /// FNV-1a hash of a string, usable as a fork salt.
-  static std::uint64_t hash(std::string_view s);
+  /// FNV-1a hash of a string, usable as a fork salt. Defined inline: this
+  /// is also the canonical key hash for paths (fs::Path caches it) and the
+  /// DHT ring, so it sits on metadata hot paths.
+  static std::uint64_t hash(std::string_view s) {
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001B3ull;
+    }
+    return h;
+  }
 
  private:
   std::array<std::uint64_t, 4> state_;

@@ -11,7 +11,9 @@ Simulation::~Simulation() {
   // wakeups, reclaim owned root frames (their Task destructors cascade into
   // nested frames), then audit for unowned frames this kernel scheduled that
   // nobody reclaimed.
-  queue_ = {};
+  queue_.clear();
+  callback_slots_.clear();
+  free_callback_slots_.clear();
   roots_.clear();
   debug::sim_teardown(this);
 }
@@ -32,49 +34,66 @@ void Simulation::schedule(SimTime at, std::coroutine_handle<> h) {
   assert(at >= now_);
   assert(h);
   debug::coro_scheduled(h.address(), this);
-  queue_.push(Event{at, next_seq_++, h, nullptr});
+  queue_.push(KernelEvent{at, next_seq_++, KernelEvent::encode_handle(h.address())});
 }
 
-void Simulation::schedule_callback(SimTime at, std::function<void()> fn) {
+std::uint32_t Simulation::acquire_callback_slot(SmallFunc fn) {
+  if (!free_callback_slots_.empty()) {
+    const std::uint32_t slot = free_callback_slots_.back();
+    free_callback_slots_.pop_back();
+    callback_slots_[slot] = std::move(fn);
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(callback_slots_.size());
+  callback_slots_.push_back(std::move(fn));
+  return slot;
+}
+
+void Simulation::schedule_callback(SimTime at, SmallFunc fn) {
   assert(at >= now_);
   assert(fn);
-  queue_.push(Event{at, next_seq_++, nullptr, std::move(fn)});
+  const std::uint32_t slot = acquire_callback_slot(std::move(fn));
+  queue_.push(KernelEvent{at, next_seq_++, KernelEvent::encode_callback(slot)});
 }
 
-void Simulation::dispatch(Event& ev) {
+void Simulation::dispatch(const KernelEvent& ev) {
   now_ = ev.at;
   current_event_seq_ = ev.seq;
   ++events_processed_;
   if (trace_hook_) trace_hook_(TraceRecord{trace_index_++, ev.at, ev.seq, {}});
-  if (ev.handle) {
-    debug::coro_resuming(ev.handle.address());
-    ev.handle.resume();
-    debug::coro_suspend_point(ev.handle.address());
+  if (ev.is_callback()) {
+    // Move the callable out and release the slot before invoking: the body
+    // may schedule further callbacks (or destroy this Simulation's clients),
+    // and the slot must be reusable by then.
+    SmallFunc fn = std::move(callback_slots_[ev.callback_slot()]);
+    callback_slots_[ev.callback_slot()].reset();
+    free_callback_slots_.push_back(ev.callback_slot());
+    fn();
   } else {
-    ev.callback();
+    auto h = std::coroutine_handle<>::from_address(ev.handle_address());
+    debug::coro_resuming(h.address());
+    h.resume();
+    debug::coro_suspend_point(h.address());
   }
 }
 
 bool Simulation::step() {
   if (queue_.empty()) return false;
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  const KernelEvent ev = queue_.pop();
   dispatch(ev);
   return true;
 }
 
 void Simulation::run() {
   while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    const KernelEvent ev = queue_.pop();
     dispatch(ev);
   }
 }
 
 bool Simulation::run_until(SimTime deadline) {
   while (!queue_.empty() && queue_.top().at <= deadline) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    const KernelEvent ev = queue_.pop();
     dispatch(ev);
   }
   if (now_ < deadline) now_ = deadline;

@@ -15,7 +15,6 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <queue>
 #include <source_location>
 #include <stdexcept>
 #include <string>
@@ -23,8 +22,10 @@
 #include <vector>
 
 #include "debug/coro_check.h"
+#include "sim/event_heap.h"
 #include "sim/metrics.h"
 #include "sim/random.h"
+#include "sim/small_func.h"
 #include "sim/task.h"
 #include "sim/time.h"
 
@@ -65,8 +66,11 @@ class Simulation {
   /// Resumes `h` at the current virtual time, after already-queued events.
   void schedule_now(std::coroutine_handle<> h) { schedule(now_, h); }
 
-  /// Runs `fn` at absolute virtual time `at` (>= now).
-  void schedule_callback(SimTime at, std::function<void()> fn);
+  /// Runs `fn` at absolute virtual time `at` (>= now). `fn` is any
+  /// void-callable (move-only captures welcome); captures up to
+  /// SmallFunc::kInlineBytes are stored without heap allocation in a
+  /// recycled slot pool, so the dominant delivery paths never allocate.
+  void schedule_callback(SimTime at, SmallFunc fn);
 
   /// Awaitable that suspends the caller for `d` of virtual time.
   /// A zero delay still goes through the event queue (fair yield).
@@ -136,26 +140,28 @@ class Simulation {
     trace_hook_(TraceRecord{trace_index_++, now_, current_event_seq_, std::move(label)});
   }
 
- private:
-  struct Event {
-    SimTime at;
-    std::uint64_t seq;
-    std::coroutine_handle<> handle;       // exactly one of handle/callback set
-    std::function<void()> callback;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  /// Like trace_note, but defers label construction: `make_label` (returning
+  /// std::string) is only invoked while a hook is installed, so call sites
+  /// can format rich labels without paying for them in untraced runs.
+  template <typename LabelFn>
+  void trace_note_lazy(LabelFn&& make_label) {
+    if (!trace_hook_) return;
+    trace_note(std::forward<LabelFn>(make_label)());
+  }
 
-  void dispatch(Event& ev);
+ private:
+  void dispatch(const KernelEvent& ev);
+  std::uint32_t acquire_callback_slot(SmallFunc fn);
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  EventHeap queue_;
+  // Callback storage for KernelEvent payloads: an event's payload indexes
+  // into callback_slots_; freed slots recycle through free_callback_slots_,
+  // so steady-state callback scheduling performs no allocation at all.
+  std::vector<SmallFunc> callback_slots_;
+  std::vector<std::uint32_t> free_callback_slots_;
   std::vector<Task<>> roots_;
   Rng rng_;
   MetricRegistry metrics_;

@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "debug/coro_check.h"
+#include "sim/frame_pool.h"
 
 namespace pacon::sim {
 
@@ -29,6 +30,12 @@ struct PromiseBase {
   std::coroutine_handle<> continuation;
   std::exception_ptr error;
   bool detached = false;
+
+  // Route every Task's coroutine frame through the size-classed frame pool
+  // (a no-op pass-through to operator new/delete in sanitizer and detector
+  // builds -- see frame_pool.h).
+  static void* operator new(std::size_t bytes) { return frame_alloc(bytes); }
+  static void operator delete(void* p) noexcept { frame_free(p); }
 
   struct FinalAwaiter {
     bool await_ready() const noexcept { return false; }

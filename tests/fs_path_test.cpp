@@ -159,5 +159,55 @@ TEST(Expected, MoveOnlyValue) {
   EXPECT_EQ(*p, 5);
 }
 
+// ---- Cached index fields -----------------------------------------------------
+
+// The cached hash must equal sim::Rng::hash of the spelling for every
+// construction route -- the DHT ring and cache shard router rely on it.
+TEST(Path, CachedHashMatchesRngHashOnAllConstructionRoutes) {
+  const Path parsed = Path::parse("/a/bb/ccc");
+  EXPECT_EQ(parsed.hash(), pacon::sim::Rng::hash(parsed.str()));
+
+  const Path root;
+  EXPECT_EQ(root.hash(), pacon::sim::Rng::hash("/"));
+
+  const Path kid = parsed.child("dddd");
+  EXPECT_EQ(kid.str(), "/a/bb/ccc/dddd");
+  EXPECT_EQ(kid.hash(), pacon::sim::Rng::hash(kid.str()));
+
+  const Path up = kid.parent();
+  EXPECT_EQ(up.hash(), parsed.hash());
+  EXPECT_EQ(up, parsed);
+
+  const Path messy = Path::parse("//a///bb//ccc/");
+  EXPECT_EQ(messy.hash(), parsed.hash());
+}
+
+TEST(Path, CachedDepthAndNameStayConsistent) {
+  Path p = Path::parse("/x");
+  EXPECT_EQ(p.depth(), 1u);
+  EXPECT_EQ(p.name(), "x");
+  for (int i = 0; i < 5; ++i) {
+    p = p.child("c" + std::to_string(i));
+    EXPECT_EQ(p.depth(), static_cast<std::size_t>(i) + 2);
+    EXPECT_EQ(p.name(), "c" + std::to_string(i));
+    EXPECT_EQ(p.components().size(), p.depth());
+    EXPECT_EQ(p.components().back(), p.name());
+  }
+  for (int i = 0; i < 6; ++i) p = p.parent();
+  EXPECT_TRUE(p.is_root());
+  EXPECT_EQ(p.depth(), 0u);
+  EXPECT_EQ(p.name(), "");
+}
+
+TEST(Path, EqualityAndOrderingUnchangedByCachedFields) {
+  const Path a = Path::parse("/a/b");
+  const Path b = Path::parse("//a//b");
+  const Path c = Path::parse("/a/c");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(std::hash<Path>{}(a), std::hash<Path>{}(b));
+}
+
 }  // namespace
 }  // namespace pacon::fs

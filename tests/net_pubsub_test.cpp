@@ -145,5 +145,75 @@ TEST(PubSub, DepthObservableForBackpressure) {
   EXPECT_EQ(sub->depth(), 4u);
 }
 
+// ---- Move-through delivery ---------------------------------------------------
+
+/// Message that counts copy-constructions; moves are free.
+struct CountingMsg {
+  static inline int copies = 0;
+  int tag = 0;
+
+  CountingMsg() = default;
+  explicit CountingMsg(int t) : tag(t) {}
+  CountingMsg(const CountingMsg& other) : tag(other.tag) { ++copies; }
+  CountingMsg& operator=(const CountingMsg& other) {
+    tag = other.tag;
+    ++copies;
+    return *this;
+  }
+  CountingMsg(CountingMsg&&) = default;
+  CountingMsg& operator=(CountingMsg&&) = default;
+};
+
+// A moved-in message published to a single-subscriber topic (the commit
+// queue shape) must reach the subscriber's inbox with ZERO copies.
+TEST(PubSub, SingleSubscriberPublishMovesWithZeroCopies) {
+  Simulation sim;
+  Fabric fabric(sim, FabricConfig{});
+  PubSubBus<CountingMsg> bus(sim, fabric);
+  auto sub = bus.subscribe("commits", NodeId{0});
+  CountingMsg::copies = 0;
+  EXPECT_EQ(bus.publish(NodeId{1}, "commits", CountingMsg{42}), 1u);
+  sim.run();
+  auto m = sub->try_recv();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->tag, 42);
+  EXPECT_EQ(CountingMsg::copies, 0) << "single-subscriber fan-out must move, not copy";
+}
+
+// With N subscribers, exactly N-1 copies are made (the last delivery steals
+// the moved-in message).
+TEST(PubSub, FanOutCopiesExactlyAllButLastDelivery) {
+  Simulation sim;
+  Fabric fabric(sim, FabricConfig{});
+  PubSubBus<CountingMsg> bus(sim, fabric);
+  auto s1 = bus.subscribe("t", NodeId{0});
+  auto s2 = bus.subscribe("t", NodeId{1});
+  auto s3 = bus.subscribe("t", NodeId{2});
+  CountingMsg::copies = 0;
+  EXPECT_EQ(bus.publish(NodeId{7}, "t", CountingMsg{7}), 3u);
+  sim.run();
+  EXPECT_EQ(CountingMsg::copies, 2) << "N-subscriber fan-out must copy exactly N-1 times";
+  EXPECT_EQ(s1->try_recv()->tag, 7);
+  EXPECT_EQ(s2->try_recv()->tag, 7);
+  EXPECT_EQ(s3->try_recv()->tag, 7);
+}
+
+// Pre-resolved topic handles deliver identically to by-name publishes.
+TEST(PubSub, TopicHandleMatchesByNamePublish) {
+  Simulation sim;
+  Fabric fabric(sim, FabricConfig{});
+  PubSubBus<Msg> bus(sim, fabric);
+  auto sub = bus.subscribe("t", NodeId{0});
+  auto handle = bus.topic_handle("t");
+  EXPECT_EQ(bus.publish(NodeId{1}, handle, Msg{1, 0}), 1u);
+  EXPECT_EQ(bus.publish(NodeId{1}, "t", Msg{1, 1}), 1u);
+  sim.run();
+  auto a = sub->try_recv();
+  auto b = sub->try_recv();
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->seq, 0);  // FIFO across both publish flavors
+  EXPECT_EQ(b->seq, 1);
+}
+
 }  // namespace
 }  // namespace pacon::net

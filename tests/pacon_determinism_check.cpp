@@ -18,6 +18,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -155,6 +157,16 @@ TEST(PaconDeterminism, SameSeedProducesIdenticalEventTrace) {
   const std::vector<std::string> run1 = run_traced(42);
   const std::vector<std::string> run2 = run_traced(42);
   EXPECT_TRUE(traces_identical(run1, run2));
+
+  // With PACON_TRACE_DUMP=<file> set, persist the reference-seed trace so
+  // separate builds can be compared byte-for-byte. This is how kernel
+  // optimizations (e.g. the event-heap swap) prove they did not reorder the
+  // schedule: dump from the old build, dump from the new, diff the files.
+  if (const char* dump = std::getenv("PACON_TRACE_DUMP")) {
+    std::ofstream out(dump);
+    for (const auto& line : run1) out << line << "\n";
+    ASSERT_TRUE(out.good()) << "failed to write trace dump to " << dump;
+  }
 }
 
 TEST(PaconDeterminism, SameSeedIdenticalAcrossSeeds) {
