@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Full correctness gate: sim-rules lint, clang-tidy (when available), then
-# the sanitizer matrix -- ASan+UBSan and TSan builds with -Werror and the
+# Full correctness gate: sim-rules lint, markdown link check, clang-tidy
+# (when available), then the sanitizer matrix -- ASan+UBSan and TSan builds with -Werror and the
 # coroutine-lifetime detector compiled in, each running the entire ctest
 # suite (including the coroutine-detector unit tests and the determinism
 # checker). See DESIGN.md "Correctness tooling".
@@ -29,13 +29,16 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-echo "==== [1/3] sim-rules lint ===================================================="
+echo "==== [1/4] sim-rules lint ===================================================="
 "$root/scripts/lint_sim_rules.sh" "$root"
 
-echo "==== [2/3] clang-tidy ========================================================"
+echo "==== [2/4] markdown links ===================================================="
+"$root/scripts/check_markdown.sh" "$root"
+
+echo "==== [3/4] clang-tidy ========================================================"
 "$root/scripts/tidy.sh"
 
-echo "==== [3/3] sanitizer matrix: ${modes[*]} ====="
+echo "==== [4/4] sanitizer matrix: ${modes[*]} ====="
 for mode in "${modes[@]}"; do
   build="$root/build-check-$mode"
   echo "---- PACON_SANITIZE=$mode: configure ($build)"
@@ -61,4 +64,4 @@ if [[ "$perf" == 1 ]]; then
   "$root/scripts/perfbench.sh" --build-dir "$root/build-perf"
 fi
 
-echo "check.sh: all gates passed (lint, tidy, sanitizer matrix: ${modes[*]}$([[ "$perf" == 1 ]] && echo ', perf'))"
+echo "check.sh: all gates passed (lint, markdown, tidy, sanitizer matrix: ${modes[*]}$([[ "$perf" == 1 ]] && echo ', perf'))"

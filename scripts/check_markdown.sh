@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Markdown link/anchor checker for the repo's documentation.
+#
+# Verifies every inline link [text](target) in tracked *.md files:
+#   * relative file targets must exist (relative to the linking file);
+#   * fragment targets (#anchor, file.md#anchor) must match a heading in
+#     the target file after GitHub slugification (lowercase, spaces to
+#     dashes, punctuation stripped);
+#   * http(s)/mailto links are skipped (no network in the gate).
+# Fenced code blocks are stripped first so shell snippets containing
+# [x](y) shapes do not produce false positives.
+#
+# Usage: scripts/check_markdown.sh [repo-root]
+set -euo pipefail
+
+root="$(cd "${1:-$(dirname "$0")/..}" && pwd)"
+cd "$root"
+
+python3 - <<'PY'
+import os
+import re
+import subprocess
+import sys
+
+files = subprocess.run(
+    ["git", "ls-files", "--cached", "--others", "--exclude-standard", "*.md"],
+    capture_output=True, text=True, check=True).stdout.split()
+
+FENCE = re.compile(r"^(```|~~~)")
+# Inline links; images share the syntax (the leading ! is harmless here).
+LINK = re.compile(r"\[[^\]^\[]*\]\(([^()\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+def strip_fences(text):
+    out, fenced = [], False
+    for line in text.splitlines():
+        if FENCE.match(line.strip()):
+            fenced = not fenced
+            out.append("")
+            continue
+        out.append("" if fenced else line)
+    return out
+
+def slugify(heading):
+    # GitHub's anchor algorithm: strip markdown emphasis/code markers,
+    # lowercase, drop punctuation, spaces become dashes.
+    h = re.sub(r"[*_`]", "", heading.strip())
+    h = h.lower()
+    h = re.sub(r"[^\w\- ]", "", h)
+    return h.replace(" ", "-")
+
+def anchors_of(path):
+    slugs, seen = set(), {}
+    with open(path, encoding="utf-8") as f:
+        for line in strip_fences(f.read()):
+            m = HEADING.match(line)
+            if not m:
+                continue
+            s = slugify(m.group(1))
+            n = seen.get(s, 0)
+            seen[s] = n + 1
+            slugs.add(s if n == 0 else f"{s}-{n}")
+    return slugs
+
+errors = []
+anchor_cache = {}
+
+for md in files:
+    with open(md, encoding="utf-8") as f:
+        lines = strip_fences(f.read())
+    for lineno, line in enumerate(lines, 1):
+        for m in LINK.finditer(line):
+            target = m.group(1)
+            if re.match(r"^(https?:|mailto:)", target):
+                continue
+            path_part, _, frag = target.partition("#")
+            if path_part:
+                dest = os.path.normpath(
+                    os.path.join(os.path.dirname(md), path_part))
+                if not os.path.exists(dest):
+                    errors.append(f"{md}:{lineno}: broken link target "
+                                  f"'{target}' (no such file {dest})")
+                    continue
+            else:
+                dest = md
+            if frag:
+                if not dest.endswith(".md") or os.path.isdir(dest):
+                    continue  # anchors into non-markdown are not checkable
+                if dest not in anchor_cache:
+                    anchor_cache[dest] = anchors_of(dest)
+                if frag.lower() not in anchor_cache[dest]:
+                    errors.append(f"{md}:{lineno}: broken anchor "
+                                  f"'{target}' (no heading slug '{frag}' in {dest})")
+
+if errors:
+    print(f"check_markdown: {len(errors)} broken link(s):", file=sys.stderr)
+    for e in errors:
+        print(f"  {e}", file=sys.stderr)
+    sys.exit(1)
+print(f"check_markdown: {len(files)} files OK")
+PY

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "sim/simulation.h"
 #include "sim/sync.h"
@@ -47,19 +48,36 @@ class EpochCoordinator {
   }
 
   /// The dependent-op client waits until every node drained epoch `e`.
-  sim::Task<> wait_all_drained(std::uint64_t e) {
-    if (nodes_done_[e] >= node_count_) co_return;
+  /// Returns false when the barrier was aborted instead (a participant's
+  /// commit process crashed mid-epoch and will never report): the caller
+  /// must complete the epoch without running its dependent op, then replay
+  /// the whole barrier.
+  sim::Task<bool> wait_all_drained(std::uint64_t e) {
+    if (aborted_.contains(e)) co_return false;
+    if (nodes_done_[e] >= node_count_) co_return true;
     co_await drained_gate(e).wait();
+    co_return !aborted_.contains(e);
   }
 
-  /// The dependent op has been applied; epoch `e` is closed. Commit
-  /// processes blocked on epoch e+1 may proceed.
+  /// Fails the in-flight barrier for epoch `e` (a participant crashed).
+  /// Waiters wake and observe the abort; no-op for past epochs.
+  void abort_epoch(std::uint64_t e) {
+    if (e != current_) return;
+    aborted_.insert(e);
+    drained_gate(e).open();
+  }
+
+  bool is_aborted(std::uint64_t e) const { return aborted_.contains(e); }
+
+  /// The dependent op has been applied (or the barrier abandoned); epoch `e`
+  /// is closed. Commit processes blocked on epoch e+1 may proceed.
   void complete_epoch(std::uint64_t e) {
     if (e < current_) return;
     current_ = e + 1;
     proceed_gate(current_).open();
     nodes_done_.erase(e);
     drained_gates_.erase(e);
+    aborted_.erase(e);
   }
 
   /// Commit processes wait here before consuming epoch-`e` operations.
@@ -83,6 +101,7 @@ class EpochCoordinator {
   sim::Simulation& sim_;
   std::size_t node_count_;
   std::uint64_t current_ = 0;
+  std::unordered_set<std::uint64_t> aborted_;
   std::unordered_map<std::uint64_t, std::size_t> nodes_done_;
   std::unordered_map<std::uint64_t, std::unique_ptr<sim::Gate>> drained_gates_;
   std::unordered_map<std::uint64_t, std::unique_ptr<sim::Gate>> proceed_gates_;

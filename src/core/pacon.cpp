@@ -83,7 +83,40 @@ void Pacon::refresh_hints() {
   }
 }
 
+// Public entry points: every basic file interface runs behind guard_faults
+// so node failures surface as FsError::io, not exceptions (satisfying the
+// Table I contract that callers handle errno-style codes only).
 sim::Task<FsResult<void>> Pacon::mkdir(const fs::Path& path, fs::FileMode mode) {
+  return guard_faults(do_mkdir(path, mode));
+}
+sim::Task<FsResult<void>> Pacon::create(const fs::Path& path, fs::FileMode mode) {
+  return guard_faults(do_create(path, mode));
+}
+sim::Task<FsResult<fs::InodeAttr>> Pacon::getattr(const fs::Path& path) {
+  return guard_faults(do_getattr(path));
+}
+sim::Task<FsResult<void>> Pacon::remove(const fs::Path& path) {
+  return guard_faults(do_remove(path));
+}
+sim::Task<FsResult<void>> Pacon::rmdir(const fs::Path& path) {
+  return guard_faults(do_rmdir(path));
+}
+sim::Task<FsResult<std::vector<fs::DirEntry>>> Pacon::readdir(const fs::Path& path) {
+  return guard_faults(do_readdir(path));
+}
+sim::Task<FsResult<std::uint64_t>> Pacon::write(const fs::Path& path, std::uint64_t offset,
+                                                std::uint64_t length) {
+  return guard_faults(do_write(path, offset, length));
+}
+sim::Task<FsResult<std::uint64_t>> Pacon::read(const fs::Path& path, std::uint64_t offset,
+                                               std::uint64_t length) {
+  return guard_faults(do_read(path, offset, length));
+}
+sim::Task<FsResult<void>> Pacon::fsync(const fs::Path& path) {
+  return guard_faults(do_fsync(path));
+}
+
+sim::Task<FsResult<void>> Pacon::do_mkdir(const fs::Path& path, fs::FileMode mode) {
   ConsistentRegion* region = nullptr;
   switch (route_of(path, &region)) {
     case Route::own_region: {
@@ -108,7 +141,7 @@ sim::Task<FsResult<void>> Pacon::mkdir(const fs::Path& path, fs::FileMode mode) 
   co_return fs::fail(FsError::invalid);
 }
 
-sim::Task<FsResult<void>> Pacon::create(const fs::Path& path, fs::FileMode mode) {
+sim::Task<FsResult<void>> Pacon::do_create(const fs::Path& path, fs::FileMode mode) {
   ConsistentRegion* region = nullptr;
   switch (route_of(path, &region)) {
     case Route::own_region: {
@@ -130,7 +163,7 @@ sim::Task<FsResult<void>> Pacon::create(const fs::Path& path, fs::FileMode mode)
   co_return fs::fail(FsError::invalid);
 }
 
-sim::Task<FsResult<fs::InodeAttr>> Pacon::getattr(const fs::Path& path) {
+sim::Task<FsResult<fs::InodeAttr>> Pacon::do_getattr(const fs::Path& path) {
   ConsistentRegion* region = nullptr;
   switch (route_of(path, &region)) {
     case Route::own_region:
@@ -142,7 +175,7 @@ sim::Task<FsResult<fs::InodeAttr>> Pacon::getattr(const fs::Path& path) {
   co_return fs::fail(FsError::invalid);
 }
 
-sim::Task<FsResult<void>> Pacon::remove(const fs::Path& path) {
+sim::Task<FsResult<void>> Pacon::do_remove(const fs::Path& path) {
   ConsistentRegion* region = nullptr;
   switch (route_of(path, &region)) {
     case Route::own_region:
@@ -155,7 +188,7 @@ sim::Task<FsResult<void>> Pacon::remove(const fs::Path& path) {
   co_return fs::fail(FsError::invalid);
 }
 
-sim::Task<FsResult<void>> Pacon::rmdir(const fs::Path& path) {
+sim::Task<FsResult<void>> Pacon::do_rmdir(const fs::Path& path) {
   ConsistentRegion* region = nullptr;
   switch (route_of(path, &region)) {
     case Route::own_region:
@@ -168,7 +201,7 @@ sim::Task<FsResult<void>> Pacon::rmdir(const fs::Path& path) {
   co_return fs::fail(FsError::invalid);
 }
 
-sim::Task<FsResult<std::vector<fs::DirEntry>>> Pacon::readdir(const fs::Path& path) {
+sim::Task<FsResult<std::vector<fs::DirEntry>>> Pacon::do_readdir(const fs::Path& path) {
   ConsistentRegion* region = nullptr;
   switch (route_of(path, &region)) {
     case Route::own_region:
@@ -180,7 +213,7 @@ sim::Task<FsResult<std::vector<fs::DirEntry>>> Pacon::readdir(const fs::Path& pa
   co_return fs::fail(FsError::invalid);
 }
 
-sim::Task<FsResult<std::uint64_t>> Pacon::write(const fs::Path& path, std::uint64_t offset,
+sim::Task<FsResult<std::uint64_t>> Pacon::do_write(const fs::Path& path, std::uint64_t offset,
                                                 std::uint64_t length) {
   ConsistentRegion* region = nullptr;
   switch (route_of(path, &region)) {
@@ -194,7 +227,7 @@ sim::Task<FsResult<std::uint64_t>> Pacon::write(const fs::Path& path, std::uint6
   co_return fs::fail(FsError::invalid);
 }
 
-sim::Task<FsResult<std::uint64_t>> Pacon::read(const fs::Path& path, std::uint64_t offset,
+sim::Task<FsResult<std::uint64_t>> Pacon::do_read(const fs::Path& path, std::uint64_t offset,
                                                std::uint64_t length) {
   ConsistentRegion* region = nullptr;
   switch (route_of(path, &region)) {
@@ -207,7 +240,7 @@ sim::Task<FsResult<std::uint64_t>> Pacon::read(const fs::Path& path, std::uint64
   co_return fs::fail(FsError::invalid);
 }
 
-sim::Task<FsResult<void>> Pacon::fsync(const fs::Path& path) {
+sim::Task<FsResult<void>> Pacon::do_fsync(const fs::Path& path) {
   ConsistentRegion* region = nullptr;
   switch (route_of(path, &region)) {
     case Route::own_region:
@@ -233,9 +266,17 @@ sim::Task<FsResult<void>> Pacon::merge_region(const fs::Path& other_root) {
   co_return FsResult<void>{};
 }
 
-sim::Task<FsResult<std::uint64_t>> Pacon::checkpoint() { return region_->checkpoint(client_id_); }
+sim::Task<FsResult<std::uint64_t>> Pacon::checkpoint() {
+  return guard_faults(region_->checkpoint(client_id_));
+}
 
-sim::Task<FsResult<void>> Pacon::restore(std::uint64_t id) { return region_->restore(id); }
+sim::Task<FsResult<void>> Pacon::restore(std::uint64_t id) {
+  return guard_faults(region_->restore(id));
+}
+
+sim::Task<FsResult<void>> Pacon::recover_node_failure(net::NodeId failed) {
+  return guard_faults(region_->recover_from_node_failure(failed));
+}
 
 sim::Task<> Pacon::drain() { return region_->drain(client_id_); }
 

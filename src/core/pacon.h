@@ -18,6 +18,7 @@
 #include "core/region.h"
 #include "dfs/client.h"
 #include "fs/lru_cache.h"
+#include "net/rpc.h"
 
 namespace pacon::core {
 
@@ -111,6 +112,10 @@ class Pacon {
   /// Rolls the workspace back to a checkpoint and rebuilds the cache.
   sim::Task<fs::FsResult<void>> restore(std::uint64_t id);
 
+  /// Client-node failure handling (paper Section III): detaches `failed`
+  /// from the region and rolls the workspace back to the newest checkpoint.
+  sim::Task<fs::FsResult<void>> recover_node_failure(net::NodeId failed);
+
   /// Waits until every queued operation reached the DFS.
   sim::Task<> drain();
 
@@ -119,6 +124,26 @@ class Pacon {
   Route route_of(const fs::Path& path, ConsistentRegion** which);
 
   void refresh_hints();
+
+  /// Wraps an operation so a downed node or lost message surfaces as
+  /// FsError::io at the API boundary -- Table I callers see errno-style
+  /// codes, never a raw net::RpcError unwinding through application code.
+  template <typename T>
+  static sim::Task<fs::FsResult<T>> guard_faults(sim::Task<fs::FsResult<T>> op);
+
+  // Coroutine bodies of the public basic file interfaces; the public entry
+  // points wrap them with guard_faults().
+  sim::Task<fs::FsResult<void>> do_mkdir(const fs::Path& path, fs::FileMode mode);
+  sim::Task<fs::FsResult<void>> do_create(const fs::Path& path, fs::FileMode mode);
+  sim::Task<fs::FsResult<fs::InodeAttr>> do_getattr(const fs::Path& path);
+  sim::Task<fs::FsResult<void>> do_remove(const fs::Path& path);
+  sim::Task<fs::FsResult<void>> do_rmdir(const fs::Path& path);
+  sim::Task<fs::FsResult<std::vector<fs::DirEntry>>> do_readdir(const fs::Path& path);
+  sim::Task<fs::FsResult<std::uint64_t>> do_write(const fs::Path& path, std::uint64_t offset,
+                                                  std::uint64_t length);
+  sim::Task<fs::FsResult<std::uint64_t>> do_read(const fs::Path& path, std::uint64_t offset,
+                                                 std::uint64_t length);
+  sim::Task<fs::FsResult<void>> do_fsync(const fs::Path& path);
 
   PaconRuntime& rt_;
   net::NodeId node_;
@@ -130,5 +155,14 @@ class Pacon {
   fs::LruTtlCache<char> parent_hints_;
   std::uint64_t hints_valid_at_ = 0;  // region invalidation counter snapshot
 };
+
+template <typename T>
+sim::Task<fs::FsResult<T>> Pacon::guard_faults(sim::Task<fs::FsResult<T>> op) {
+  try {
+    co_return co_await std::move(op);
+  } catch (const net::RpcError&) {
+    co_return fs::fail(fs::FsError::io);
+  }
+}
 
 }  // namespace pacon::core

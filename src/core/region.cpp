@@ -30,6 +30,7 @@ ConsistentRegion::ConsistentRegion(sim::Simulation& sim, net::Fabric& fabric,
       permissions_(config_.normal_permission),
       epochs_(sim, config_.nodes.size()),
       barrier_mutex_(sim),
+      rng_(sim.rng().fork("region-retry")),
       drained_gate_(sim) {
   if (!config_.root.valid() || config_.nodes.empty()) {
     throw std::invalid_argument("ConsistentRegion: workspace path and nodes are required");
@@ -41,6 +42,12 @@ ConsistentRegion::ConsistentRegion(sim::Simulation& sim, net::Fabric& fabric,
   cache_cfg.lru_eviction = false;
   cache_ = std::make_unique<kv::MemCacheCluster>(sim_, fabric_, cache_cfg);
   bus_ = std::make_unique<net::PubSubBus<OpMessage>>(sim_, fabric_);
+  // The commit queue models the prototype's ZeroMQ-over-TCP transport:
+  // retransmitted and deduped, so queue messages are only lost with their
+  // endpoint. Wire-level fault injection bites the RPC planes (cache, DFS);
+  // a silently dropped barrier sentinel would wedge the epoch protocol in a
+  // way no real TCP queue does.
+  bus_->set_reliable_transport(true);
   pending_by_path_.reserve(4096);
 
   for (const auto node : config_.nodes) {
@@ -56,10 +63,13 @@ ConsistentRegion::ConsistentRegion(sim::Simulation& sim, net::Fabric& fabric,
     state->ordered = std::make_unique<sim::Channel<OpMessage>>(sim_);
     state->retry_queue = std::make_unique<sim::Channel<OpMessage>>(sim_);
     state->spill_disk = std::make_unique<sim::SimDisk>(sim_, sim::DiskConfig::nvme());
+    state->wal_disk = std::make_unique<sim::SimDisk>(sim_, sim::DiskConfig::nvme());
+    state->wal = std::make_unique<CommitWal>(sim_, *state->wal_disk, config_.wal_flush_period);
     node_states_.push_back(std::move(state));
     sim_.spawn(sorter_loop(*node_states_.back()));
     sim_.spawn(committer_loop(*node_states_.back()));
     sim_.spawn(retry_loop(*node_states_.back()));
+    sim_.spawn(node_states_.back()->wal->flusher_loop());
   }
   sim_.spawn(evictor_loop());
 }
@@ -94,6 +104,7 @@ ConsistentRegion::~ConsistentRegion() {
     bus_->unsubscribe(node->topic, node->queue);
     node->ordered->close();
     node->retry_queue->close();
+    node->wal->stop();
   }
 }
 
@@ -234,6 +245,18 @@ sim::Task<FsResult<void>> ConsistentRegion::create_common(net::NodeId from,
     // would resurrect ordering problems, so surface EEXIST until then.
     co_return fs::fail(FsError::exists);
   }
+  if (resp.status == kv::KvStatus::unreachable) {
+    // Degraded pass-through: no live cache server for this key (retries and
+    // ring failover exhausted). The entry is not cached, but the namespace
+    // still advances via a synchronous DFS commit; cached coverage rebuilds
+    // lazily once the node returns.
+    ++degraded_ops_;
+    dfs::DfsClient& direct = *state_for(from).dfs_client;
+    auto committed = type == fs::FileType::directory ? co_await direct.mkdir(path, mode)
+                                                     : co_await direct.create(path, mode);
+    if (!committed) co_return fs::fail(committed.error());
+    co_return FsResult<void>{};
+  }
   if (resp.status != kv::KvStatus::ok) co_return fs::fail(FsError::no_space);
 
   OpMessage op;
@@ -298,6 +321,15 @@ sim::Task<FsResult<void>> ConsistentRegion::remove(net::NodeId from, std::uint32
   // cached copy is deleted by the commit process once the DFS applied it).
   for (;;) {
     const auto cur = co_await cache_->get(from, path.str(), path.hash());
+    if (cur.status == kv::KvStatus::unreachable) {
+      // Degraded pass-through: the key's cache shard is gone; unlink
+      // synchronously on the DFS (nothing cached survives to go stale).
+      ++degraded_ops_;
+      auto done = co_await state_for(from).dfs_client->unlink(path);
+      if (!done) co_return fs::fail(done.error());
+      ++invalidation_epoch_;
+      co_return FsResult<void>{};
+    }
     if (cur.status == kv::KvStatus::not_found) {
       // Not cached: verify against the DFS before queueing the remove.
       auto attr = co_await state_for(from).dfs_client->getattr(path);
@@ -308,7 +340,7 @@ sim::Task<FsResult<void>> ConsistentRegion::remove(net::NodeId from, std::uint32
       marked.removed = true;
       const auto added =
           co_await cache_->add(from, path.str(), encode_meta(marked), 0, path.hash());
-      if (added.status != kv::KvStatus::ok) continue;  // raced; retry
+      if (added.status != kv::KvStatus::ok) continue;  // raced (or shard lost); retry
       break;
     }
     auto meta = decode_meta(cur.value);
@@ -340,20 +372,21 @@ sim::Task<FsResult<void>> ConsistentRegion::remove(net::NodeId from, std::uint32
 
 // ---- Dependent operations: rmdir / readdir ------------------------------------
 
-sim::Task<std::uint64_t> ConsistentRegion::run_barrier(net::NodeId from) {
+sim::Task<ConsistentRegion::BarrierResult> ConsistentRegion::run_barrier(net::NodeId from) {
   co_await barrier_mutex_.lock();
   const std::uint64_t e = epochs_.current_epoch();
-  // Only live nodes that actually host clients owe a barrier report; a node
-  // without publishers has a trivially drained queue, and a crashed node
-  // will never report (its queued work is already lost).
+  // Only live nodes with a running commit process that actually host clients
+  // owe a barrier report; a node without publishers has a trivially drained
+  // queue, a crashed node will never report (its queued work is already
+  // lost), and a crashed commit process reports only after restart.
   std::size_t participating = 0;
   for (const auto& state : node_states_) {
-    if (state->alive && state->client_count > 0) ++participating;
+    if (state->alive && state->commit_running && state->client_count > 0) ++participating;
   }
   epochs_.set_node_count(participating);
   if (participating == 0) {
     ++barriers_run_;
-    co_return e;
+    co_return BarrierResult{e, true};
   }
   // Broadcast: every client pushes a barrier message and enters epoch e+1.
   // The physical broadcast to remote nodes costs one (parallel) one-way hop.
@@ -369,9 +402,13 @@ sim::Task<std::uint64_t> ConsistentRegion::run_barrier(net::NodeId from) {
     client_epochs_[cid] = e + 1;
   }
   ++barriers_run_;
-  co_await epochs_.wait_all_drained(e);
-  sim_.trace_note_lazy([&] { return "barrier-drained epoch=" + std::to_string(e); });
-  co_return e;
+  barrier_inflight_epoch_ = e;
+  const bool ok = co_await epochs_.wait_all_drained(e);
+  barrier_inflight_epoch_.reset();
+  sim_.trace_note_lazy([&] {
+    return (ok ? "barrier-drained epoch=" : "barrier-aborted epoch=") + std::to_string(e);
+  });
+  co_return BarrierResult{e, ok};
 }
 
 sim::Task<FsResult<void>> ConsistentRegion::rmdir(net::NodeId from, std::uint32_t client,
@@ -380,24 +417,49 @@ sim::Task<FsResult<void>> ConsistentRegion::rmdir(net::NodeId from, std::uint32_
   auto perm = co_await check_permission(from, path.parent(), fs::Access::write);
   if (!perm) co_return perm;
 
-  const std::uint64_t e = co_await run_barrier(from);
-  auto result = co_await state_for(from).dfs_client->rmdir(path);  // sync commit (Table I)
-  if (result) {
-    ++invalidation_epoch_;
-    // Clean the cached subtree (paper: recursive removing cleans the cache).
-    const std::string prefix = subtree_prefix(path);
-    for (std::size_t s = 0; s < cache_->server_count(); ++s) {
-      auto& server = cache_->server_on(config_.nodes[s]);
-      for (const auto& key : server.keys_with_prefix(prefix)) {
-        server.apply(kv::KvRequest{kv::KvRequest::Op::del, key, {}, 0, 0});
-      }
-      server.apply(kv::KvRequest{kv::KvRequest::Op::del, path.str(), {}, 0, 0});
+  for (std::size_t attempt = 0;; ++attempt) {
+    const BarrierResult barrier = co_await run_barrier(from);
+    if (!barrier.ok) {
+      // A participant's commit process crashed mid-epoch. Close the epoch
+      // (its surviving ops redeliver from the WAL after restart) and replay
+      // the whole barrier; the replayed one covers the redelivered ops.
+      epochs_.complete_epoch(barrier.epoch);
+      barrier_mutex_.unlock();
+      if (attempt + 1 >= config_.barrier_retry_limit) co_return fs::fail(FsError::io);
+      co_await sim_.delay(config_.barrier_retry_delay);
+      continue;
     }
+    FsResult<void> result = fs::fail(FsError::io);
+    bool transient = false;
+    try {
+      result = co_await state_for(from).dfs_client->rmdir(path);  // sync commit (Table I)
+    } catch (const net::RpcError&) {
+      // Transport failure (MDS down / message lost): keep the epoch/mutex
+      // bookkeeping intact and replay the barrier + rmdir after a delay.
+      transient = true;
+    }
+    if (result) {
+      ++invalidation_epoch_;
+      // Clean the cached subtree (paper: recursive removing cleans the cache).
+      const std::string prefix = subtree_prefix(path);
+      for (std::size_t s = 0; s < cache_->server_count(); ++s) {
+        auto& server = cache_->server_on(config_.nodes[s]);
+        for (const auto& key : server.keys_with_prefix(prefix)) {
+          server.apply(kv::KvRequest{kv::KvRequest::Op::del, key, {}, 0, 0});
+        }
+        server.apply(kv::KvRequest{kv::KvRequest::Op::del, path.str(), {}, 0, 0});
+      }
+    }
+    epochs_.complete_epoch(barrier.epoch);
+    barrier_mutex_.unlock();
+    if (transient) {
+      if (attempt + 1 >= config_.barrier_retry_limit) co_return fs::fail(FsError::io);
+      co_await sim_.delay(config_.barrier_retry_delay);
+      continue;
+    }
+    if (!result) co_return fs::fail(result.error());
+    co_return FsResult<void>{};
   }
-  epochs_.complete_epoch(e);
-  barrier_mutex_.unlock();
-  if (!result) co_return fs::fail(result.error());
-  co_return FsResult<void>{};
 }
 
 sim::Task<FsResult<std::vector<fs::DirEntry>>> ConsistentRegion::readdir(net::NodeId from,
@@ -408,11 +470,31 @@ sim::Task<FsResult<std::vector<fs::DirEntry>>> ConsistentRegion::readdir(net::No
   if (!perm) co_return fs::fail(perm.error());
   // Barrier, then delegate to the DFS: avoids a full cache-table scan and is
   // correct because all earlier operations have been committed (Table I).
-  const std::uint64_t e = co_await run_barrier(from);
-  auto entries = co_await state_for(from).dfs_client->readdir(path);
-  epochs_.complete_epoch(e);
-  barrier_mutex_.unlock();
-  co_return entries;
+  for (std::size_t attempt = 0;; ++attempt) {
+    const BarrierResult barrier = co_await run_barrier(from);
+    if (!barrier.ok) {
+      epochs_.complete_epoch(barrier.epoch);
+      barrier_mutex_.unlock();
+      if (attempt + 1 >= config_.barrier_retry_limit) co_return fs::fail(FsError::io);
+      co_await sim_.delay(config_.barrier_retry_delay);
+      continue;
+    }
+    FsResult<std::vector<fs::DirEntry>> entries = fs::fail(FsError::io);
+    bool transient = false;
+    try {
+      entries = co_await state_for(from).dfs_client->readdir(path);
+    } catch (const net::RpcError&) {
+      transient = true;
+    }
+    epochs_.complete_epoch(barrier.epoch);
+    barrier_mutex_.unlock();
+    if (transient) {
+      if (attempt + 1 >= config_.barrier_retry_limit) co_return fs::fail(FsError::io);
+      co_await sim_.delay(config_.barrier_retry_delay);
+      continue;
+    }
+    co_return entries;
+  }
 }
 
 // ---- File data -------------------------------------------------------------------
@@ -428,6 +510,14 @@ sim::Task<FsResult<std::uint64_t>> ConsistentRegion::write(net::NodeId from,
 
   for (;;) {
     const auto cur = co_await cache_->get(from, path.str(), path.hash());
+    if (cur.status == kv::KvStatus::unreachable) {
+      // Degraded pass-through: write through to the DFS directly; no cached
+      // copy exists to keep coherent while the shard is down.
+      ++degraded_ops_;
+      auto wrote = co_await io.write(path, offset, length);
+      if (!wrote) co_return fs::fail(wrote.error());
+      co_return length;
+    }
     if (cur.status == kv::KvStatus::not_found) {
       // Unknown in cache: fall back to the DFS (load like getattr would).
       auto attr = co_await getattr(from, path);
@@ -510,9 +600,16 @@ sim::Task<FsResult<std::uint64_t>> ConsistentRegion::read(net::NodeId from, cons
 }
 
 sim::Task<FsResult<void>> ConsistentRegion::fsync(net::NodeId from, const fs::Path& path) {
-  auto meta = co_await cache_get(from, path);
-  if (!meta || meta->removed) co_return fs::fail(FsError::not_found);
+  const auto cur = co_await cache_->get(from, path.str(), path.hash());
   NodeState& state = state_for(from);
+  if (cur.status == kv::KvStatus::unreachable) {
+    // Degraded pass-through: delegate durability to the DFS.
+    ++degraded_ops_;
+    co_return co_await state.dfs_client->fsync(path);
+  }
+  std::optional<CachedMeta> meta;
+  if (cur.status == kv::KvStatus::ok) meta = decode_meta(cur.value);
+  if (!meta || meta->removed) co_return fs::fail(FsError::not_found);
   if (pending_by_path_.contains(fs::SpellingKey{path})) {
     // The file's create (or data) has not committed yet: durability comes
     // from a direct-I/O write of the inline payload into a node-local cache
@@ -528,11 +625,14 @@ sim::Task<FsResult<void>> ConsistentRegion::fsync(net::NodeId from, const fs::Pa
 sim::Task<> ConsistentRegion::sorter_loop(NodeState& node) {
   // Sorter half: consumes the node's commit queue without ever blocking on
   // epoch state, so barrier messages are always seen promptly even while the
-  // committer is held at an epoch boundary.
+  // committer is held at an epoch boundary. The sorter is client-side queue
+  // infrastructure: it survives commit-process crashes, and its WAL append
+  // is what makes a consumed-but-uncommitted op redeliverable.
   for (;;) {
     auto msg = co_await node.queue->recv();
     if (!msg) break;
     if (is_barrier(*msg)) {
+      if (msg->epoch < epochs_.current_epoch()) continue;  // aborted epoch's stragglers
       auto& seen = node.barrier_seen[msg->epoch];
       if (++seen == node.client_count) {
         node.barrier_seen.erase(msg->epoch);
@@ -542,26 +642,51 @@ sim::Task<> ConsistentRegion::sorter_loop(NodeState& node) {
       }
       continue;
     }
+    // Durable before visible: once logged, a crash between here and the
+    // DFS apply replays the op (at-least-once).
+    node.wal->append(*msg);
     (void)node.ordered->try_send(std::move(*msg));
   }
   node.ordered->close();
 }
 
 sim::Task<> ConsistentRegion::committer_loop(NodeState& node) {
+  const std::uint64_t generation = node.commit_generation;
+  // Redeliver the WAL backlog first: ops a previous incarnation consumed
+  // from the queue but never acknowledged. Already-applied ops are filtered
+  // by their idempotency id (the acked set) or absorbed as EEXIST replays.
+  for (OpMessage replay : node.wal->unacked()) {
+    if (node.commit_generation != generation) co_return;
+    ++redelivered_ops_;
+    sim_.trace_note_lazy([&] {
+      return "redeliver op=" + std::to_string(replay.op_id) + " path=" + replay.path;
+    });
+    const bool applied = co_await apply_and_account(node, replay, generation);
+    if (node.commit_generation != generation) co_return;
+    if (!applied) {
+      ++node.retrying;
+      (void)node.retry_queue->try_send(std::move(replay));
+    }
+  }
   for (;;) {
     auto msg = co_await node.ordered->recv();
     if (!msg) break;
+    if (node.commit_generation != generation) co_return;  // crashed while parked
     if (is_barrier(*msg)) {
       // A barrier may only be reported once every operation of its epoch --
       // including ones parked for resubmission -- reached the DFS.
       while (node.retrying > 0 && node.alive) {
         co_await sim_.delay(config_.commit_retry_delay);
+        if (node.commit_generation != generation) co_return;
       }
       epochs_.node_reached_barrier(msg->epoch);
       continue;
     }
     if (node.alive) co_await epochs_.wait_epoch_open(msg->epoch);
-    if (!co_await apply_and_account(node, *msg)) {
+    if (node.commit_generation != generation) co_return;
+    const bool applied = co_await apply_and_account(node, *msg, generation);
+    if (node.commit_generation != generation) co_return;
+    if (!applied) {
       // Independent commit: park for resubmission; keep draining the queue
       // (the op this one depends on may be right behind it).
       ++node.retrying;
@@ -571,21 +696,34 @@ sim::Task<> ConsistentRegion::committer_loop(NodeState& node) {
 }
 
 sim::Task<> ConsistentRegion::retry_loop(NodeState& node) {
+  const std::uint64_t generation = node.commit_generation;
   for (;;) {
     auto msg = co_await node.retry_queue->recv();
     if (!msg) break;
-    for (;;) {
+    if (node.commit_generation != generation) co_return;
+    for (std::size_t attempt = 0;; ++attempt) {
       ++commit_retries_;
-      co_await sim_.delay(config_.commit_retry_delay);
-      if (co_await apply_and_account(node, *msg)) break;
+      co_await sim_.delay(config_.commit_retry.backoff(attempt, rng_));
+      if (node.commit_generation != generation) co_return;
+      const bool applied = co_await apply_and_account(node, *msg, generation);
+      if (node.commit_generation != generation) co_return;
+      if (applied) break;
     }
     --node.retrying;
   }
 }
 
-sim::Task<bool> ConsistentRegion::apply_and_account(NodeState& node, const OpMessage& msg) {
+sim::Task<bool> ConsistentRegion::apply_and_account(NodeState& node, const OpMessage& msg,
+                                                    std::uint64_t generation) {
+  if (node.wal->acked(msg.op_id)) {
+    // Idempotency-id dedup: a redelivered copy of an op that already reached
+    // the DFS. Applied exactly once overall; nothing left to account.
+    ++duplicate_deliveries_;
+    co_return true;
+  }
   if (!node.alive) {
     // Dead node: the op is lost (restore() repairs); account it out.
+    node.wal->ack(msg.op_id);
     pending_decrement(msg.path);
     co_return true;
   }
@@ -595,13 +733,21 @@ sim::Task<bool> ConsistentRegion::apply_and_account(NodeState& node, const OpMes
   } catch (const net::RpcError&) {
     status = FsError::io;  // node or fabric failure mid-commit
   }
+  if (node.commit_generation != generation) {
+    // Crashed mid-apply: whatever the DFS did is not acknowledged, so the op
+    // redelivers on restart -- the at-least-once window idempotent replay
+    // absorbs. Report success so the (dead) caller does not re-park it.
+    co_return true;
+  }
   if (!node.alive) {
+    node.wal->ack(msg.op_id);
     pending_decrement(msg.path);
     co_return true;
   }
   if (status == FsError::ok || status == FsError::exists) {
     // exists = an idempotent replay (e.g. recovery re-commit); accept.
     ++committed_ops_;
+    node.wal->ack(msg.op_id);
     pending_decrement(msg.path);
     sim_.trace_note_lazy([&] {
       return "commit op=" + std::to_string(msg.op_id) + " kind=" + to_string(msg.kind) +
@@ -671,6 +817,7 @@ sim::Task<FsResult<std::uint64_t>> ConsistentRegion::checkpoint(std::uint32_t cl
   (void)co_await io.mkdir(fs::Path::parse("/.pacon"), fs::FileMode::dir_default());
   auto copied = co_await copy_subtree(io, config_.root, dest);
   if (!copied) co_return fs::fail(copied.error());
+  last_checkpoint_id_ = id;
   co_return id;
 }
 
@@ -713,6 +860,71 @@ void ConsistentRegion::detach_failed_node(net::NodeId failed) {
   // Keys the dead cache server held are gone; take it out of the ring so
   // the remaining servers own the keyspace (entries rebuild from the DFS).
   cache_->remove_server(failed);
+  // A barrier waiting on this node's report would hang forever: abort it so
+  // the dependent op replays against the surviving membership.
+  if (barrier_inflight_epoch_ && state.client_count > 0) {
+    ++barrier_aborts_;
+    epochs_.abort_epoch(*barrier_inflight_epoch_);
+  }
+}
+
+sim::Task<FsResult<void>> ConsistentRegion::recover_from_node_failure(net::NodeId failed) {
+  detach_failed_node(failed);
+  sim_.trace_note_lazy([&] {
+    return "recover-node node=" + std::to_string(failed.value) +
+           " ckpt=" + std::to_string(last_checkpoint_id_);
+  });
+  if (last_checkpoint_id_ == 0) co_return FsResult<void>{};  // nothing to roll back to
+  co_return co_await restore(last_checkpoint_id_);
+}
+
+void ConsistentRegion::node_recovered(net::NodeId node) { cache_->server_recovered(node); }
+
+void ConsistentRegion::crash_commit_process(net::NodeId node_id) {
+  NodeState& node = state_for(node_id);
+  if (!node.commit_running || !node.alive) return;
+  node.commit_running = false;
+  ++node.commit_generation;
+  ++commit_crashes_;
+  node.retrying = 0;
+  node.barrier_seen.clear();
+  // The committer and retry worker die with their channels: whatever they
+  // held in flight stays unacknowledged in the WAL and redelivers on
+  // restart. The channels are closed (waking parked loops, which observe
+  // the bumped generation and exit) but parked in a graveyard rather than
+  // destructed under a suspended waiter.
+  node.ordered->close();
+  node.retry_queue->close();
+  node.dead_channels.push_back(std::move(node.ordered));
+  node.dead_channels.push_back(std::move(node.retry_queue));
+  node.ordered = std::make_unique<sim::Channel<OpMessage>>(sim_);
+  node.retry_queue = std::make_unique<sim::Channel<OpMessage>>(sim_);
+  sim_.trace_note_lazy([&] {
+    return "commit-crash node=" + std::to_string(node_id.value) +
+           " backlog=" + std::to_string(node.wal->backlog());
+  });
+  // A barrier mid-drain can no longer complete: this node's sentinel (or
+  // its report) died with the process.
+  if (barrier_inflight_epoch_ && node.client_count > 0) {
+    ++barrier_aborts_;
+    epochs_.abort_epoch(*barrier_inflight_epoch_);
+  }
+}
+
+void ConsistentRegion::restart_commit_process(net::NodeId node_id) {
+  NodeState& node = state_for(node_id);
+  if (node.commit_running || !node.alive) return;
+  node.commit_running = true;
+  sim_.trace_note_lazy([&] {
+    return "commit-restart node=" + std::to_string(node_id.value) +
+           " backlog=" + std::to_string(node.wal->backlog());
+  });
+  sim_.spawn(committer_loop(node));
+  sim_.spawn(retry_loop(node));
+}
+
+bool ConsistentRegion::commit_process_running(net::NodeId node_id) {
+  return state_for(node_id).commit_running;
 }
 
 // ---- Eviction ----------------------------------------------------------------------

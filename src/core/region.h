@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/commit_wal.h"
 #include "core/epoch.h"
 #include "core/meta_entry.h"
 #include "core/op_message.h"
@@ -34,7 +35,9 @@
 #include "fs/path.h"
 #include "kv/memcache.h"
 #include "net/pubsub.h"
+#include "net/retry.h"
 #include "sim/disk.h"
+#include "sim/random.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
 
@@ -79,6 +82,22 @@ struct RegionConfig {
   EvictionPolicy eviction_policy = EvictionPolicy::round_robin;
   /// Backoff between commit resubmissions (independent commit retries).
   sim::SimDuration commit_retry_delay = 200_us;
+  /// Backoff schedule for the commit retry worker: exponential with
+  /// deterministic jitter from the region's forked rng stream; max_attempts
+  /// is ignored (independent commit resubmits until the DFS accepts,
+  /// Section III.E.1). base_delay defaults to commit_retry_delay's value.
+  net::RetryPolicy commit_retry{.max_attempts = 0,
+                                .base_delay = 200_us,
+                                .multiplier = 2.0,
+                                .max_delay = 2'000_us,
+                                .jitter_frac = 0.25};
+  /// Pause before replaying a barrier whose epoch was aborted by a
+  /// commit-process crash, and how many replays to attempt before the
+  /// dependent op fails with FsError::io.
+  sim::SimDuration barrier_retry_delay = 500_us;
+  std::size_t barrier_retry_limit = 64;
+  /// Group-commit cadence of the per-node commit WAL.
+  sim::SimDuration wal_flush_period = 100_us;
   /// Normal permission of the workspace; defaults to creator-private rwx.
   PermissionSpec normal_permission{};
   /// CPU cost of a local (client-side) batch permission match.
@@ -154,6 +173,31 @@ class ConsistentRegion {
   /// exactly the damage restore() repairs.
   void detach_failed_node(net::NodeId failed);
 
+  /// §III failure recovery in one call: detaches `failed` and rolls the
+  /// workspace back to the newest checkpoint. With no checkpoint taken yet
+  /// the detach still happens and the call succeeds (nothing to roll back).
+  sim::Task<fs::FsResult<void>> recover_from_node_failure(net::NodeId failed);
+
+  /// A transiently-down cache node rejoined (it was never detached): clears
+  /// its suspect flag so its keyspace routes home, cold-flushing the server.
+  void node_recovered(net::NodeId node);
+
+  // ---- Commit-process fault injection -------------------------------------
+
+  /// Kills node `node`'s commit process (committer + retry worker). Ops it
+  /// held die with it; the sorter and WAL survive (client-side queue
+  /// infrastructure), so everything unacknowledged replays on restart. An
+  /// in-flight barrier this node participates in is aborted.
+  void crash_commit_process(net::NodeId node);
+
+  /// Restarts a crashed commit process. It first redelivers the WAL backlog
+  /// (at-least-once; already-acked ops are skipped), then resumes draining
+  /// the queue.
+  void restart_commit_process(net::NodeId node);
+
+  /// True while `node`'s commit process is running.
+  bool commit_process_running(net::NodeId node);
+
   // ---- Introspection -------------------------------------------------------
 
   std::uint64_t pending_commits() const { return pending_total_; }
@@ -161,6 +205,19 @@ class ConsistentRegion {
   std::uint64_t commit_retries() const { return commit_retries_; }
   std::uint64_t evicted_entries() const { return evicted_entries_; }
   std::uint64_t barriers_run() const { return barriers_run_; }
+  std::uint64_t commit_crashes() const { return commit_crashes_; }
+  std::uint64_t barrier_aborts() const { return barrier_aborts_; }
+  /// Ops replayed from a WAL after a commit-process restart.
+  std::uint64_t redelivered_ops() const { return redelivered_ops_; }
+  /// Redelivered ops that were already acknowledged (idempotency-id dedup
+  /// hits: the op reached the committer twice but the DFS only once... or
+  /// twice with EEXIST absorbed -- either way applied effectively once).
+  std::uint64_t duplicate_deliveries() const { return duplicate_deliveries_; }
+  /// Ops that fell back to synchronous DFS commit because the cache was
+  /// unreachable (degraded pass-through mode).
+  std::uint64_t degraded_ops() const { return degraded_ops_; }
+  /// Newest checkpoint id, or 0 when none was taken yet.
+  std::uint64_t latest_checkpoint() const { return last_checkpoint_id_; }
 
   /// Bumped whenever anything is removed from the region; clients gate their
   /// local parent-existence hints on it.
@@ -189,9 +246,21 @@ class ConsistentRegion {
     /// Node-local device for direct-I/O spill files (fsync of files whose
     /// create has not committed; Section III.D.2).
     std::unique_ptr<sim::SimDisk> spill_disk;
+    /// Commit WAL and its dedicated device (modelled separately from the
+    /// spill disk so log flushes never queue behind spill I/O).
+    std::unique_ptr<sim::SimDisk> wal_disk;
+    std::unique_ptr<CommitWal> wal;
     std::uint32_t client_count = 0;
     std::unordered_map<std::uint64_t, std::size_t> barrier_seen;  // epoch -> count
     bool alive = true;
+    /// Commit-process incarnation. Bumped on crash; the committer and retry
+    /// loops capture it at spawn and exit as soon as it moves on, so a loop
+    /// woken from a pre-crash channel never applies post-crash work.
+    std::uint64_t commit_generation = 0;
+    bool commit_running = true;
+    /// Channels closed by a crash are parked here, not destructed: loops may
+    /// still be suspended in their wait queues until the close wakes them.
+    std::vector<std::unique_ptr<sim::Channel<OpMessage>>> dead_channels;
   };
 
   /// Permission check dispatch: batch (local) or hierarchical (ablation).
@@ -210,15 +279,27 @@ class ConsistentRegion {
 
   void publish(std::uint32_t client, OpMessage msg);
 
+  struct BarrierResult {
+    std::uint64_t epoch = 0;
+    /// False when the barrier was aborted (commit-process crash mid-epoch):
+    /// the caller must complete the epoch and replay the barrier before
+    /// running its dependent op.
+    bool ok = true;
+  };
+
   /// Runs one barrier: all clients emit barrier messages; waits until every
-  /// commit process drained the epoch. Returns the epoch that was sealed.
-  sim::Task<std::uint64_t> run_barrier(net::NodeId from);
+  /// commit process drained the epoch (or the epoch aborts).
+  sim::Task<BarrierResult> run_barrier(net::NodeId from);
 
   sim::Task<> sorter_loop(NodeState& node);
   sim::Task<> committer_loop(NodeState& node);
   sim::Task<> retry_loop(NodeState& node);
   /// One commit attempt incl. bookkeeping; false = needs resubmission.
-  sim::Task<bool> apply_and_account(NodeState& node, const OpMessage& msg);
+  /// `generation` is the commit-process incarnation the caller belongs to: a
+  /// crash mid-apply means the result is neither acked nor accounted (the op
+  /// redelivers -- the at-least-once window).
+  sim::Task<bool> apply_and_account(NodeState& node, const OpMessage& msg,
+                                    std::uint64_t generation);
   sim::Task<fs::FsError> apply_once(NodeState& node, const OpMessage& msg);
 
   NodeState& state_for(net::NodeId node);
@@ -249,6 +330,11 @@ class ConsistentRegion {
 
   EpochCoordinator epochs_;
   sim::Mutex barrier_mutex_;
+  /// Epoch of the barrier currently between broadcast and drained (guarded
+  /// by barrier_mutex_); crash paths abort it so the waiter can replay.
+  std::optional<std::uint64_t> barrier_inflight_epoch_;
+  /// Jitter stream for commit-retry backoff.
+  sim::Rng rng_;
 
   // Pending-commit bookkeeping: paths with queued-but-uncommitted ops are
   // protected from eviction; the drain() primitive waits on the total.
@@ -262,6 +348,7 @@ class ConsistentRegion {
   bool stop_evictor_ = false;
 
   std::uint64_t next_checkpoint_id_ = 1;
+  std::uint64_t last_checkpoint_id_ = 0;
   std::uint64_t next_op_id_ = 0;
   std::uint32_t next_client_id_ = 0;
   std::uint64_t committed_ops_ = 0;
@@ -269,6 +356,11 @@ class ConsistentRegion {
   std::uint64_t commit_retries_ = 0;
   std::uint64_t evicted_entries_ = 0;
   std::uint64_t barriers_run_ = 0;
+  std::uint64_t commit_crashes_ = 0;
+  std::uint64_t barrier_aborts_ = 0;
+  std::uint64_t redelivered_ops_ = 0;
+  std::uint64_t duplicate_deliveries_ = 0;
+  std::uint64_t degraded_ops_ = 0;
 };
 
 }  // namespace pacon::core

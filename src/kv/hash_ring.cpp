@@ -41,7 +41,22 @@ void HashRing::add_node(net::NodeId node) {
 
 void HashRing::remove_node(net::NodeId node) {
   std::erase(nodes_, node);
+  std::erase(suspects_, node);
   std::erase_if(ring_, [node](const auto& e) { return e.second == node; });
+}
+
+void HashRing::set_suspect(net::NodeId node, bool suspect) {
+  if (std::find(nodes_.begin(), nodes_.end(), node) == nodes_.end()) return;
+  const auto it = std::find(suspects_.begin(), suspects_.end(), node);
+  if (suspect && it == suspects_.end()) {
+    suspects_.insert(std::upper_bound(suspects_.begin(), suspects_.end(), node), node);
+  } else if (!suspect && it != suspects_.end()) {
+    suspects_.erase(it);
+  }
+}
+
+bool HashRing::is_suspect(net::NodeId node) const {
+  return std::find(suspects_.begin(), suspects_.end(), node) != suspects_.end();
 }
 
 net::NodeId HashRing::node_for(std::string_view key) const {
@@ -52,6 +67,14 @@ net::NodeId HashRing::node_for_hash(std::uint64_t hash) const {
   assert(!ring_.empty());
   auto it = std::lower_bound(ring_.begin(), ring_.end(), hash, point_less);
   if (it == ring_.end()) it = ring_.begin();  // wrap around
+  if (suspects_.empty() || !is_suspect(it->second)) return it->second;
+  // Failover: walk clockwise to the first non-suspect owner. Bounded by one
+  // full revolution; with every node suspect, fall back to the raw owner.
+  for (std::size_t step = 1; step < ring_.size(); ++step) {
+    auto next = it + static_cast<std::ptrdiff_t>(step);
+    if (next >= ring_.end()) next -= static_cast<std::ptrdiff_t>(ring_.size());
+    if (!is_suspect(next->second)) return next->second;
+  }
   return it->second;
 }
 

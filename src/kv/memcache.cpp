@@ -120,8 +120,14 @@ std::vector<std::string> MemCacheServer::keys_with_prefix(const std::string& pre
   return out;
 }
 
+void MemCacheServer::flush() {
+  items_.clear();
+  lru_.clear();
+  bytes_used_ = 0;
+}
+
 MemCacheCluster::MemCacheCluster(sim::Simulation& sim, net::Fabric& fabric, KvConfig config)
-    : sim_(sim), fabric_(fabric), config_(config) {}
+    : sim_(sim), fabric_(fabric), config_(config), rng_(sim.rng().fork("kv-cluster")) {}
 
 MemCacheServer& MemCacheCluster::add_server(net::NodeId node) {
   servers_.push_back(std::make_unique<MemCacheServer>(sim_, fabric_, node, config_));
@@ -133,18 +139,59 @@ MemCacheServer& MemCacheCluster::add_server(net::NodeId node) {
 
 void MemCacheCluster::remove_server(net::NodeId node) { ring_.remove_node(node); }
 
+void MemCacheCluster::server_recovered(net::NodeId node) {
+  failure_slot(node) = 0;
+  if (!ring_.is_suspect(node)) return;
+  server_on(node).flush();
+  ring_.set_suspect(node, false);
+  sim_.trace_note_lazy([&] { return "kv-rejoin node=" + std::to_string(node.value); });
+}
+
 MemCacheServer& MemCacheCluster::server_on(net::NodeId node) {
   assert(node.value < by_node_.size() && by_node_[node.value] != nullptr);
   return *by_node_[node.value];
 }
+
+std::uint32_t& MemCacheCluster::failure_slot(net::NodeId node) {
+  if (node.value >= failures_by_node_.size()) failures_by_node_.resize(node.value + 1, 0);
+  return failures_by_node_[node.value];
+}
+
+void MemCacheCluster::note_failure(net::NodeId node) {
+  std::uint32_t& failures = failure_slot(node);
+  if (++failures >= config_.suspect_after_failures && !ring_.is_suspect(node)) {
+    ring_.set_suspect(node, true);
+    ++failovers_;
+    sim_.trace_note_lazy([&] { return "kv-failover node=" + std::to_string(node.value); });
+  }
+}
+
+void MemCacheCluster::note_success(net::NodeId node) { failure_slot(node) = 0; }
 
 sim::Task<KvResponse> MemCacheCluster::route(net::NodeId from, KvRequest req) {
   assert(!ring_.empty());
   // Route on the caller-supplied hash when present; fill it in otherwise so
   // the server's item table reuses it too.
   if (req.key_hash == 0) req.key_hash = sim::Rng::hash(req.key);
-  MemCacheServer& server = server_on(ring_.node_for_hash(req.key_hash));
-  co_return co_await server.call(from, std::move(req));
+  // Each attempt re-resolves the owner: once repeated failures mark a node
+  // suspect, the ring routes the key to its clockwise successor, so a retry
+  // after failover lands on a live server. RpcErrors never escape -- callers
+  // see KvStatus::unreachable and degrade to DFS pass-through.
+  for (std::size_t attempt = 0;; ++attempt) {
+    if (ring_.live_node_count() == 0) break;  // every server suspect: give up
+    const net::NodeId owner = ring_.node_for_hash(req.key_hash);
+    try {
+      KvResponse resp = co_await server_on(owner).call(from, KvRequest{req});
+      note_success(owner);
+      co_return resp;
+    } catch (const net::RpcError&) {
+      note_failure(owner);
+    }
+    if (!config_.retry.should_retry(attempt)) break;
+    co_await sim_.delay(config_.retry.backoff(attempt, rng_));
+  }
+  ++unreachable_requests_;
+  co_return KvResponse{KvStatus::unreachable, {}, 0, 0};
 }
 
 sim::Task<KvResponse> MemCacheCluster::get(net::NodeId from, std::string key,

@@ -20,7 +20,9 @@
 
 #include "kv/hash_ring.h"
 #include "net/fabric.h"
+#include "net/retry.h"
 #include "net/rpc.h"
+#include "sim/random.h"
 #include "sim/simulation.h"
 
 namespace pacon::kv {
@@ -33,6 +35,7 @@ enum class KvStatus : std::uint8_t {
   exists,         // add on a present key
   cas_mismatch,   // cas with a stale version
   no_space,       // store full and eviction disabled
+  unreachable,    // retries + failover exhausted: no live server for the key
 };
 
 struct KvConfig {
@@ -49,6 +52,12 @@ struct KvConfig {
   bool lru_eviction = true;
   /// RPC worker pool of the cache daemon.
   std::size_t workers = 4;
+  /// Client-side retry/backoff for cluster requests (net/retry.h); jitter
+  /// comes from the cluster's forked sim Rng stream.
+  net::RetryPolicy retry{};
+  /// Consecutive RPC failures against one server before the ring marks it
+  /// suspect and its keyspace fails over to the clockwise successor.
+  std::size_t suspect_after_failures = 2;
 };
 
 struct KvRequest {
@@ -125,6 +134,11 @@ class MemCacheServer {
   /// daemon lacks this, Pacon never calls it on the data path).
   std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
 
+  /// Drops every item (cold restart). A server rejoining after a suspected
+  /// outage must come back empty: values written while its keyspace was
+  /// failed over to the successor would otherwise resurrect stale data.
+  void flush();
+
  private:
   struct Item {
     std::string value;
@@ -177,9 +191,24 @@ class MemCacheCluster {
   /// surviving servers; the server object itself is kept (it may be dead).
   void remove_server(net::NodeId node);
 
+  /// A suspected server came back: clears the suspect flag so its keyspace
+  /// routes home again, and flushes the server (cold rejoin -- see
+  /// MemCacheServer::flush). No-op for servers never marked suspect.
+  void server_recovered(net::NodeId node);
+
+  /// Administratively fences a server (fault injection / maintenance): it is
+  /// marked suspect immediately, without waiting for RPC failures to
+  /// accumulate. Undo with server_recovered().
+  void fence_server(net::NodeId node) { ring_.set_suspect(node, true); }
+
   std::size_t server_count() const { return servers_.size(); }
   const HashRing& ring() const { return ring_; }
   MemCacheServer& server_on(net::NodeId node);
+
+  /// Times a server's keyspace was failed over to its ring successor.
+  std::uint64_t failovers() const { return failovers_; }
+  /// Cluster requests that exhausted retries (returned KvStatus::unreachable).
+  std::uint64_t unreachable_requests() const { return unreachable_requests_; }
 
   /// Cluster ops, issued from `from`; routed by key hash. The trailing
   /// `key_hash` (sim::Rng::hash of the key, e.g. fs::Path::hash()) lets the
@@ -201,6 +230,9 @@ class MemCacheCluster {
 
  private:
   sim::Task<KvResponse> route(net::NodeId from, KvRequest req);
+  void note_failure(net::NodeId node);
+  void note_success(net::NodeId node);
+  std::uint32_t& failure_slot(net::NodeId node);
 
   sim::Simulation& sim_;
   net::Fabric& fabric_;
@@ -210,6 +242,13 @@ class MemCacheCluster {
   // Dense NodeId.value -> server routing table (node ids are small and
   // contiguous in practice); server_on is on the per-op request path.
   std::vector<MemCacheServer*> by_node_;
+  /// Backoff jitter stream; forked from the sim root so retry schedules are
+  /// reproducible per seed.
+  sim::Rng rng_;
+  /// Dense NodeId.value -> consecutive RPC-failure count (suspicion input).
+  std::vector<std::uint32_t> failures_by_node_;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t unreachable_requests_ = 0;
 };
 
 }  // namespace pacon::kv

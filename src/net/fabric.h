@@ -12,6 +12,7 @@
 #include <functional>
 #include <unordered_set>
 
+#include "sim/fault.h"
 #include "sim/random.h"
 #include "sim/simulation.h"
 #include "sim/time.h"
@@ -73,11 +74,25 @@ class Fabric {
   bool node_up(NodeId node) const { return !down_.contains(node.value); }
   bool reachable(NodeId from, NodeId to) const { return node_up(from) && node_up(to); }
 
+  /// Installs (or clears, with nullptr) the message-level fault model
+  /// consulted by RPC and pub/sub for every cross-node message. Not owned.
+  void set_fault_model(sim::MessageFaultModel* faults) { faults_ = faults; }
+  sim::MessageFaultModel* fault_model() const { return faults_; }
+
+  /// Fate of one message on the `from`->`to` hop. Loopback traffic is exempt
+  /// (same-host queues neither lose nor reorder), as is everything when no
+  /// model is installed.
+  sim::FaultDecision message_fate(NodeId from, NodeId to) {
+    if (faults_ == nullptr || from == to) return {};
+    return faults_->next();
+  }
+
  private:
   sim::Simulation& sim_;
   FabricConfig config_;
   sim::Rng rng_;
   std::unordered_set<std::uint32_t> down_;
+  sim::MessageFaultModel* faults_ = nullptr;
 };
 
 }  // namespace pacon::net

@@ -96,9 +96,19 @@ class PubSubBus {
     return publish(from, &it->second, std::move(msg), bytes);
   }
 
+  /// Marks this bus as riding a reliable transport (TCP-like, e.g. the
+  /// ZeroMQ commit queue of the Pacon prototype): an installed message fault
+  /// model is ignored -- the transport retransmits and dedups, so messages
+  /// are only ever lost with their endpoint. Reachability checks still
+  /// apply. Default: raw datagram semantics (faults bite).
+  void set_reliable_transport(bool reliable) { reliable_ = reliable; }
+
   /// Publish via a pre-resolved TopicHandle (no map lookup).
   std::size_t publish(NodeId from, TopicHandle topic, M msg, std::size_t bytes = 256) {
     auto& subs = *topic;
+    if (fabric_.fault_model() != nullptr && !reliable_) {
+      return publish_faulty(from, subs, std::move(msg), bytes);
+    }
     // Find the last reachable subscriber first so the message can be moved
     // into that delivery; every earlier one gets a copy.
     std::size_t last_idx = subs.size();
@@ -111,13 +121,8 @@ class PubSubBus {
       auto& sub = subs[i];
       if (!fabric_.reachable(from, sub->node())) continue;
       const sim::SimTime earliest = sim_.now() + fabric_.one_way(from, sub->node(), bytes);
-      sim::SimTime& last = sub->last_from(from.value);
-      const sim::SimTime at = std::max(earliest, last + 1);
-      last = at;
-      M payload = (i == last_idx) ? std::move(msg) : msg;
-      sim_.schedule_callback(at, [sub = sub, m = std::move(payload)]() mutable {
-        sub->inbox_.try_send(std::move(m));
-      });
+      deliver_at(sub, from, std::max(earliest, sub->last_from(from.value) + 1),
+                 (i == last_idx) ? std::move(msg) : M{msg});
       ++delivered;
     }
     return delivered;
@@ -128,10 +133,70 @@ class PubSubBus {
     return it == topics_.end() ? 0 : it->second.size();
   }
 
+  /// Messages dropped on the wire by the installed fault model (the model
+  /// counts globally; this counts this bus's share).
+  std::uint64_t wire_drops() const { return wire_drops_; }
+
  private:
+  /// Schedules one delivery and advances the FIFO floor for (from, sub).
+  void deliver_at(const std::shared_ptr<Subscription>& sub, NodeId from, sim::SimTime at,
+                  M msg) {
+    sub->last_from(from.value) = at;
+    sim_.schedule_callback(at, [sub = sub, m = std::move(msg)]() mutable {
+      sub->inbox_.try_send(std::move(m));
+    });
+  }
+
+  /// Slow path when a message fault model is installed: every subscriber's
+  /// fate is decided up front (in subscriber order -- one rng draw sequence
+  /// per publish), then deliveries are scheduled. A dropped message simply
+  /// never arrives; a duplicated one is delivered a second time after a
+  /// fresh wire hop -- both copies respect the per-(publisher, subscription)
+  /// FIFO floor, mirroring a redundant send over a lossy link.
+  std::size_t publish_faulty(NodeId from, std::vector<std::shared_ptr<Subscription>>& subs,
+                             M msg, std::size_t bytes) {
+    std::vector<sim::FaultDecision> fates(subs.size());
+    std::size_t last_idx = subs.size();
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      if (!fabric_.reachable(from, subs[i]->node())) {
+        fates[i].drop = true;  // unreachable, not a wire fault: not counted
+        continue;
+      }
+      fates[i] = fabric_.message_fate(from, subs[i]->node());
+      if (fates[i].drop) {
+        ++wire_drops_;
+      } else {
+        last_idx = i;
+      }
+    }
+    if (last_idx == subs.size()) return 0;
+    std::size_t delivered = 0;
+    for (std::size_t i = 0; i <= last_idx; ++i) {
+      auto& sub = subs[i];
+      const sim::FaultDecision& fate = fates[i];
+      if (fate.drop) continue;
+      const sim::SimTime earliest =
+          sim_.now() + fabric_.one_way(from, sub->node(), bytes) + fate.extra_delay;
+      const sim::SimTime at = std::max(earliest, sub->last_from(from.value) + 1);
+      if (fate.duplicate) {
+        deliver_at(sub, from, at, M{msg});
+        const sim::SimTime again = sim_.now() + fabric_.one_way(from, sub->node(), bytes);
+        deliver_at(sub, from, std::max(again, sub->last_from(from.value) + 1),
+                   (i == last_idx) ? std::move(msg) : M{msg});
+        delivered += 2;
+      } else {
+        deliver_at(sub, from, at, (i == last_idx) ? std::move(msg) : M{msg});
+        ++delivered;
+      }
+    }
+    return delivered;
+  }
+
   sim::Simulation& sim_;
   Fabric& fabric_;
+  bool reliable_ = false;
   std::uint64_t next_id_ = 0;
+  std::uint64_t wire_drops_ = 0;
   std::map<std::string, std::vector<std::shared_ptr<Subscription>>> topics_;
 };
 

@@ -1,0 +1,67 @@
+// Retry/timeout/backoff policy shared by every layer that talks over the
+// fabric: the memcache cluster client (cache-node failover), RPC callers,
+// and the region's commit-resubmission worker.
+//
+// Backoff is exponential with full-range multiplicative jitter. The jitter
+// is drawn from a *simulation* Rng stream passed in by the caller, never
+// from OS randomness, so a fixed seed reproduces the exact retry schedule
+// -- the property the deterministic fault-injection suite asserts.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "net/rpc.h"
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace pacon::net {
+
+struct RetryPolicy {
+  /// Total attempts (first try included). 0 = retry forever.
+  std::size_t max_attempts = 4;
+  /// Delay before the first retry; doubles (by `multiplier`) per attempt.
+  sim::SimDuration base_delay = 200_us;
+  double multiplier = 2.0;
+  /// Backoff ceiling (pre-jitter).
+  sim::SimDuration max_delay = 5'000_us;
+  /// Jittered delay = nominal * (1 +- U(0, jitter_frac)); spreads retries
+  /// from concurrent clients so they do not re-collide in lockstep.
+  double jitter_frac = 0.25;
+
+  /// True when attempt index `attempt` (0-based) may be followed by another.
+  bool should_retry(std::size_t attempt) const {
+    return max_attempts == 0 || attempt + 1 < max_attempts;
+  }
+
+  /// Delay to wait after failed attempt `attempt` (0-based).
+  sim::SimDuration backoff(std::size_t attempt, sim::Rng& rng) const {
+    double nominal = static_cast<double>(base_delay);
+    for (std::size_t i = 0; i < attempt && nominal < static_cast<double>(max_delay); ++i) {
+      nominal *= multiplier;
+    }
+    nominal = std::min(nominal, static_cast<double>(max_delay));
+    const double jitter = 1.0 + (rng.uniform01() * 2.0 - 1.0) * jitter_frac;
+    return static_cast<sim::SimDuration>(std::max(0.0, nominal * jitter));
+  }
+};
+
+/// Runs `attempt()` (a callable returning sim::Task<T>) until it succeeds or
+/// the policy's attempts are exhausted; RpcError failures back off with
+/// deterministic jitter. The final error is rethrown to the caller.
+template <typename F>
+auto retry_rpc(sim::Simulation& sim, RetryPolicy policy, sim::Rng& rng, F attempt)
+    -> decltype(attempt()) {
+  for (std::size_t a = 0;; ++a) {
+    try {
+      co_return co_await attempt();
+    } catch (const RpcError&) {
+      if (!policy.should_retry(a)) throw;
+    }
+    co_await sim.delay(policy.backoff(a, rng));
+  }
+}
+
+}  // namespace pacon::net

@@ -8,7 +8,12 @@
 // scalability experiments.
 //
 // Failures: calls to/from a down node throw RpcError. Handler exceptions
-// propagate to the caller.
+// propagate to the caller. When a message fault model is installed on the
+// fabric, a request or response may be lost on the wire: the caller then
+// waits out `call_timeout` and throws RpcError{timeout} -- the signal the
+// retry layer (net/retry.h) turns into a resubmission. Duplicate verdicts
+// are ignored at this layer: a request/response stream behaves like TCP,
+// which dedups retransmissions; only the pub/sub bus surfaces duplicates.
 #pragma once
 
 #include <cstddef>
@@ -30,7 +35,7 @@ namespace pacon::net {
 
 class RpcError : public std::runtime_error {
  public:
-  enum class Code { unreachable, shutdown };
+  enum class Code { unreachable, shutdown, timeout };
 
   RpcError(Code code, const std::string& what) : std::runtime_error(what), code_(code) {}
   Code code() const { return code_; }
@@ -52,6 +57,10 @@ class RpcService {
     /// Nominal request/response wire sizes used for the bandwidth term.
     std::size_t request_bytes = 256;
     std::size_t response_bytes = 256;
+    /// How long a caller waits on a lost request/response before giving up
+    /// with RpcError{timeout} (only reachable under an installed fault
+    /// model; a healthy fabric never loses messages).
+    sim::SimDuration call_timeout = 5'000_us;
   };
 
   RpcService(sim::Simulation& sim, Fabric& fabric, NodeId self, Handler handler,
@@ -82,7 +91,14 @@ class RpcService {
     if (!fabric_.reachable(from, self_)) {
       throw RpcError(RpcError::Code::unreachable, "rpc: destination unreachable");
     }
-    co_await sim_.delay(fabric_.one_way(from, self_, config_.request_bytes));
+    const sim::FaultDecision req_fate = fabric_.message_fate(from, self_);
+    if (req_fate.drop) {
+      // The request never arrives; the caller's timer expires.
+      co_await sim_.delay(config_.call_timeout);
+      throw RpcError(RpcError::Code::timeout, "rpc: request lost on the wire");
+    }
+    co_await sim_.delay(fabric_.one_way(from, self_, config_.request_bytes) +
+                        req_fate.extra_delay);
     if (!fabric_.node_up(self_)) {
       throw RpcError(RpcError::Code::unreachable, "rpc: server died in flight");
     }
@@ -92,7 +108,16 @@ class RpcService {
       throw RpcError(RpcError::Code::shutdown, "rpc: service shut down");
     }
     Outcome outcome = co_await result_slot->take();
-    co_await sim_.delay(fabric_.one_way(self_, from, config_.response_bytes));
+    const sim::FaultDecision resp_fate = fabric_.message_fate(self_, from);
+    if (resp_fate.drop) {
+      // The server executed the call but the response vanished: the caller
+      // times out not knowing -- the case that makes retried mutations
+      // at-least-once and forces idempotent handling upstream.
+      co_await sim_.delay(config_.call_timeout);
+      throw RpcError(RpcError::Code::timeout, "rpc: response lost on the wire");
+    }
+    co_await sim_.delay(fabric_.one_way(self_, from, config_.response_bytes) +
+                        resp_fate.extra_delay);
     if (!fabric_.node_up(from)) {
       throw RpcError(RpcError::Code::unreachable, "rpc: caller died awaiting response");
     }

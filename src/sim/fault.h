@@ -1,0 +1,143 @@
+// Deterministic fault injection for the simulation kernel.
+//
+// Two orthogonal pieces:
+//
+//   * MessageFaultModel -- a per-message verdict source (drop / duplicate /
+//     extra delay) drawn from its own forked Rng stream, so a fixed seed
+//     yields a byte-identical fault schedule run after run. The network
+//     layers (Fabric/RPC/pub-sub) consult it per cross-node message;
+//     loopback traffic is exempt (same-host queues do not lose messages).
+//
+//   * FaultPlan -- a declarative schedule of node down/up transitions and
+//     arbitrary callbacks (commit-process crash, cache rejoin, ...) pinned
+//     to virtual instants. arm() translates the plan into kernel callbacks;
+//     because the kernel orders same-time events by creation sequence, the
+//     plan is as reproducible as the workload it perturbs.
+//
+// This header must stay free of OS time/thread/randomness per the sim-rules
+// lint: all nondeterminism funnels through the forked Rng.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace pacon::sim {
+
+struct MessageFaultConfig {
+  /// Probability a message vanishes on the wire.
+  double drop_prob = 0.0;
+  /// Probability a delivered message is delivered twice (the extra copy
+  /// arrives after the original; per-pair FIFO still holds).
+  double duplicate_prob = 0.0;
+  /// Probability a delivered message is delayed by U(delay_min, delay_max)
+  /// on top of its nominal wire time.
+  double delay_prob = 0.0;
+  SimDuration delay_min = 0;
+  SimDuration delay_max = 0;
+};
+
+/// One message's fate. Default-constructed = deliver normally.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  SimDuration extra_delay = 0;
+};
+
+class MessageFaultModel {
+ public:
+  MessageFaultModel(Rng rng, MessageFaultConfig config) : rng_(rng), config_(config) {}
+
+  const MessageFaultConfig& config() const { return config_; }
+
+  /// Verdict for the next message. Consumes a fixed number of rng draws per
+  /// enabled fault class, so the schedule depends only on seed + config +
+  /// how many messages were sent before this one.
+  FaultDecision next() {
+    FaultDecision d;
+    if (config_.drop_prob > 0.0 && rng_.chance(config_.drop_prob)) {
+      ++drops_;
+      d.drop = true;
+      return d;  // a dropped message cannot also be duplicated or delayed
+    }
+    if (config_.duplicate_prob > 0.0 && rng_.chance(config_.duplicate_prob)) {
+      ++duplicates_;
+      d.duplicate = true;
+    }
+    if (config_.delay_prob > 0.0 && rng_.chance(config_.delay_prob)) {
+      ++delays_;
+      const auto span = static_cast<std::uint64_t>(config_.delay_max - config_.delay_min);
+      d.extra_delay = config_.delay_min + static_cast<SimDuration>(rng_.uniform(span + 1));
+    }
+    return d;
+  }
+
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t duplicates() const { return duplicates_; }
+  std::uint64_t delays() const { return delays_; }
+
+ private:
+  Rng rng_;
+  MessageFaultConfig config_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t delays_ = 0;
+};
+
+/// Declarative schedule of node-liveness flips and callbacks at fixed
+/// virtual instants. Build the plan, then arm() it once on a simulation.
+class FaultPlan {
+ public:
+  /// Node `node` (a net::NodeId value; this layer stays net-agnostic) goes
+  /// down at `at`.
+  FaultPlan& down(SimTime at, std::uint32_t node) {
+    node_events_.push_back({at, node, true});
+    return *this;
+  }
+
+  /// Node `node` comes back at `at`.
+  FaultPlan& up(SimTime at, std::uint32_t node) {
+    node_events_.push_back({at, node, false});
+    return *this;
+  }
+
+  /// Arbitrary fault action at `at` (commit-process crash, cache rejoin...).
+  FaultPlan& call(SimTime at, std::function<void()> fn) {
+    calls_.push_back({at, std::move(fn)});
+    return *this;
+  }
+
+  /// Schedules every planned event. `set_node_liveness(node, down)` is how
+  /// liveness flips reach the network layer above (typically
+  /// Fabric::set_node_down). May be called once per plan.
+  void arm(Simulation& sim, std::function<void(std::uint32_t, bool)> set_node_liveness) {
+    for (const auto& ev : node_events_) {
+      sim.schedule_callback(ev.at, [set_node_liveness, node = ev.node, down = ev.down] {
+        set_node_liveness(node, down);
+      });
+    }
+    for (auto& [at, fn] : calls_) {
+      sim.schedule_callback(at, [fn = std::move(fn)] { fn(); });
+    }
+    calls_.clear();
+  }
+
+  std::size_t event_count() const { return node_events_.size() + calls_.size(); }
+
+ private:
+  struct NodeEvent {
+    SimTime at;
+    std::uint32_t node;
+    bool down;
+  };
+
+  std::vector<NodeEvent> node_events_;
+  std::vector<std::pair<SimTime, std::function<void()>>> calls_;
+};
+
+}  // namespace pacon::sim

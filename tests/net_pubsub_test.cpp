@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/pubsub.h"
+#include "sim/fault.h"
 #include "sim/simulation.h"
 
 namespace pacon::net {
@@ -143,6 +144,64 @@ TEST(PubSub, DepthObservableForBackpressure) {
   EXPECT_EQ(sub->depth(), 5u);
   (void)sub->try_recv();
   EXPECT_EQ(sub->depth(), 4u);
+}
+
+// ---- Message faults ----------------------------------------------------------
+
+// Under a lossy/duplicating fault model, every delivered message is
+// accounted for: depth == sent - wire drops + duplicates, and per-publisher
+// FIFO still holds (a duplicate lands after its original, never before).
+TEST(PubSub, FaultModelDropsAndDuplicatesAreAccounted) {
+  Simulation sim;
+  Fabric fabric(sim, FabricConfig{});
+  sim::MessageFaultConfig fcfg;
+  fcfg.drop_prob = 0.15;
+  fcfg.duplicate_prob = 0.15;
+  sim::MessageFaultModel faults(sim.rng().fork("faults"), fcfg);
+  fabric.set_fault_model(&faults);
+  PubSubBus<Msg> bus(sim, fabric);
+  auto sub = bus.subscribe("t", NodeId{0});
+  const int sent = 500;
+  std::size_t scheduled = 0;
+  for (int i = 0; i < sent; ++i) scheduled += bus.publish(NodeId{1}, "t", Msg{1, i});
+  sim.run();
+  EXPECT_GT(bus.wire_drops(), 0u);
+  EXPECT_GT(faults.duplicates(), 0u);
+  EXPECT_EQ(sub->depth(), sent - bus.wire_drops() + faults.duplicates());
+  EXPECT_EQ(scheduled, sub->depth());
+  int last = -1;
+  while (auto m = sub->try_recv()) {
+    EXPECT_GE(m->seq, last) << "duplicate or reordered delivery broke FIFO";
+    last = m->seq;
+  }
+  EXPECT_GT(last, 0);
+}
+
+// Same seed -> same fault schedule; different seed -> different schedule.
+TEST(PubSub, FaultScheduleIsSeedDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    sim::MessageFaultConfig fcfg;
+    fcfg.drop_prob = 0.3;
+    sim::MessageFaultModel model(sim::Rng(seed), fcfg);
+    std::vector<bool> verdicts;
+    for (int i = 0; i < 200; ++i) verdicts.push_back(model.next().drop);
+    return verdicts;
+  };
+  EXPECT_EQ(run(1), run(1));
+  EXPECT_NE(run(1), run(2));
+}
+
+// Without an installed fault model the bus takes the zero-overhead fast
+// path; behaviour is identical to a healthy fabric.
+TEST(PubSub, NoFaultModelMeansNoDrops) {
+  Simulation sim;
+  Fabric fabric(sim, FabricConfig{});
+  PubSubBus<Msg> bus(sim, fabric);
+  auto sub = bus.subscribe("t", NodeId{0});
+  for (int i = 0; i < 100; ++i) bus.publish(NodeId{1}, "t", Msg{1, i});
+  sim.run();
+  EXPECT_EQ(sub->depth(), 100u);
+  EXPECT_EQ(bus.wire_drops(), 0u);
 }
 
 // ---- Move-through delivery ---------------------------------------------------

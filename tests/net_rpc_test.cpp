@@ -6,9 +6,11 @@
 #include <vector>
 
 #include "net/fabric.h"
+#include "net/retry.h"
 #include "net/rpc.h"
 #include "sim/combinators.h"
 #include "sim/disk.h"
+#include "sim/fault.h"
 #include "sim/simulation.h"
 
 namespace pacon::net {
@@ -186,6 +188,98 @@ TEST(Rpc, ShutdownRejectsNewCalls) {
   } catch (const RpcError& e) {
     EXPECT_EQ(e.code(), RpcError::Code::shutdown);
   }
+}
+
+TEST(Rpc, LostRequestTimesOut) {
+  Simulation sim;
+  Fabric fabric(sim, no_jitter());
+  sim::MessageFaultConfig fcfg;
+  fcfg.drop_prob = 1.0;
+  sim::MessageFaultModel faults(sim.rng().fork("faults"), fcfg);
+  fabric.set_fault_model(&faults);
+  RpcService<EchoReq, EchoResp> svc(
+      sim, fabric, NodeId{0},
+      [](EchoReq r) -> Task<EchoResp> { co_return EchoResp{r.x}; });
+  try {
+    sim::run_task(sim, svc.call(NodeId{1}, EchoReq{}));
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), RpcError::Code::timeout);
+  }
+  // The caller burned exactly the call timeout waiting on the lost request.
+  EXPECT_EQ(sim.now(), 5'000'000u);
+  EXPECT_EQ(faults.drops(), 1u);
+  EXPECT_EQ(svc.requests_served(), 0u);
+}
+
+TEST(Rpc, LoopbackExemptFromFaultModel) {
+  Simulation sim;
+  Fabric fabric(sim, no_jitter());
+  sim::MessageFaultConfig fcfg;
+  fcfg.drop_prob = 1.0;  // every cross-node message would be lost
+  sim::MessageFaultModel faults(sim.rng().fork("faults"), fcfg);
+  fabric.set_fault_model(&faults);
+  RpcService<EchoReq, EchoResp> svc(
+      sim, fabric, NodeId{0},
+      [](EchoReq r) -> Task<EchoResp> { co_return EchoResp{r.x}; });
+  // Same-host queues do not lose messages: the local call still completes.
+  const auto resp = sim::run_task(sim, svc.call(NodeId{0}, EchoReq{3}));
+  EXPECT_EQ(resp.x, 3);
+  EXPECT_EQ(faults.drops(), 0u);
+}
+
+TEST(Retry, BackoffIsDeterministicPerSeed) {
+  RetryPolicy policy;
+  sim::Rng a(42), b(42), c(43);
+  std::vector<sim::SimDuration> seq_a, seq_b, seq_c;
+  for (std::size_t i = 0; i < 8; ++i) {
+    seq_a.push_back(policy.backoff(i, a));
+    seq_b.push_back(policy.backoff(i, b));
+    seq_c.push_back(policy.backoff(i, c));
+  }
+  EXPECT_EQ(seq_a, seq_b) << "equal seeds must reproduce the retry schedule";
+  EXPECT_NE(seq_a, seq_c);
+  // Exponential growth within jitter bounds, capped at max_delay * (1 + j).
+  for (std::size_t i = 0; i < seq_a.size(); ++i) {
+    double nominal = static_cast<double>(policy.base_delay);
+    for (std::size_t k = 0; k < i && nominal < static_cast<double>(policy.max_delay); ++k) {
+      nominal *= policy.multiplier;
+    }
+    nominal = std::min(nominal, static_cast<double>(policy.max_delay));
+    EXPECT_GE(static_cast<double>(seq_a[i]), nominal * (1.0 - policy.jitter_frac) - 1.0);
+    EXPECT_LE(static_cast<double>(seq_a[i]), nominal * (1.0 + policy.jitter_frac) + 1.0);
+  }
+}
+
+TEST(Retry, RetryRpcRecoversFromTransientFailures) {
+  Simulation sim;
+  sim::Rng rng = sim.rng().fork("retry-test");
+  RetryPolicy policy;
+  int attempts = 0;
+  const int ok = sim::run_task(
+      sim, retry_rpc(sim, policy, rng, [&]() -> Task<int> {
+        ++attempts;
+        if (attempts < 3) throw RpcError(RpcError::Code::timeout, "flaky");
+        co_return 7;
+      }));
+  EXPECT_EQ(ok, 7);
+  EXPECT_EQ(attempts, 3);
+  EXPECT_GT(sim.now(), 0u);  // two backoff waits elapsed
+}
+
+TEST(Retry, RetryRpcExhaustsAttemptsAndRethrows) {
+  Simulation sim;
+  sim::Rng rng = sim.rng().fork("retry-test");
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int attempts = 0;
+  EXPECT_THROW(sim::run_task(sim, retry_rpc(sim, policy, rng, [&]() -> Task<int> {
+                 ++attempts;
+                 throw RpcError(RpcError::Code::unreachable, "down for good");
+                 co_return 0;
+               })),
+               RpcError);
+  EXPECT_EQ(attempts, 3);
 }
 
 TEST(Disk, ChargesLatencyPlusTransfer) {

@@ -30,12 +30,15 @@
 #include "fs/types.h"
 #include "harness/testbed.h"
 #include "sim/combinators.h"
+#include "sim/fault.h"
 #include "sim/simulation.h"
 #include "workload/mdtest.h"
 #include "workload/meta_client.h"
 
 namespace pacon {
 namespace {
+
+using namespace sim::literals;
 
 constexpr int kClients = 4;
 constexpr int kFilesPerClient = 12;
@@ -120,6 +123,91 @@ std::vector<std::string> run_traced(std::uint64_t seed) {
   return trace;
 }
 
+// ---- Faulted runs -----------------------------------------------------------
+
+/// Per-client loop for the faulted scenario: paced creates with periodic
+/// stats, pausing while the client's own node is down (a dead host issues no
+/// requests; a "zombie" client would only measure failure attribution).
+sim::Task<> faulted_client_loop(harness::TestBed& bed, wl::MetaClient& c, int rank) {
+  const net::NodeId self = bed.client_node(static_cast<std::size_t>(rank));
+  for (int i = 0; i < 40; ++i) {
+    while (!bed.fabric().node_up(self)) co_await bed.sim().delay(200_us);
+    const fs::Path p =
+        fs::Path::parse("/w/c" + std::to_string(rank) + "_" + std::to_string(i));
+    (void)co_await c.create(p, fs::FileMode::file_default());
+    if (i % 5 == 4) (void)co_await c.getattr(p);
+    // Pace the loop so the workload spans the fault plan's window.
+    co_await bed.sim().delay(150_us);
+  }
+}
+
+/// Same contract as run_traced, but with a lossy/delaying message fault
+/// model on the fabric and a FaultPlan that takes a cache node down and
+/// crashes a commit process mid-run. The fault schedule draws from an Rng
+/// forked off the run seed, so it is part of the reproducible schedule: the
+/// tier-1 determinism guarantee must hold under injected failures too.
+std::vector<std::string> run_traced_with_faults(std::uint64_t seed) {
+  harness::TestBedConfig cfg;
+  cfg.kind = harness::SystemKind::pacon;
+  cfg.client_nodes = kClients;
+  cfg.seed = seed;
+  harness::TestBed bed(cfg);
+
+  sim::MessageFaultConfig fcfg;
+  fcfg.drop_prob = 0.01;
+  fcfg.delay_prob = 0.10;
+  fcfg.delay_min = 10_us;
+  fcfg.delay_max = 200_us;
+  sim::MessageFaultModel faults(bed.sim().rng().fork("det-faults"), fcfg);
+  bed.fabric().set_fault_model(&faults);
+
+  std::vector<std::string> trace;
+  bed.sim().set_trace_hook([&trace](const sim::Simulation::TraceRecord& r) {
+    trace.push_back(format_record(r));
+  });
+
+  const fs::Credentials creds{1000, 1000};
+  bed.provision_workspace("/w", creds);
+  std::vector<std::unique_ptr<wl::MetaClient>> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.push_back(bed.make_client(static_cast<std::size_t>(i), "/w", creds));
+  }
+  core::ConsistentRegion* region = bed.pacon_region("/w");
+
+  sim::FaultPlan plan;
+  plan.down(2'000_us, 2);
+  plan.call(3'000_us, [region] { region->crash_commit_process(net::NodeId{1}); });
+  plan.up(6'000_us, 2);
+  plan.call(6'500_us, [region] { region->node_recovered(net::NodeId{2}); });
+  plan.call(7'000_us, [region] { region->restart_commit_process(net::NodeId{1}); });
+  plan.arm(bed.sim(), [&bed](std::uint32_t node, bool down) {
+    bed.fabric().set_node_down(net::NodeId{node}, down);
+  });
+
+  sim::run_task(bed.sim(), [](harness::TestBed& b,
+                              std::vector<std::unique_ptr<wl::MetaClient>>& cs) -> sim::Task<> {
+    std::vector<sim::Task<>> loops;
+    for (int i = 0; i < kClients; ++i) {
+      loops.push_back(faulted_client_loop(b, *cs[static_cast<std::size_t>(i)], i));
+    }
+    co_await sim::when_all(b.sim(), std::move(loops));
+    // Barrier-forcing readdir; retried because injected drops can surface
+    // as EIO on the strong path.
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      auto listing = co_await cs[0]->readdir(fs::Path::parse("/w"));
+      if (listing.has_value()) {
+        b.sim().trace_note("phase faulted-readdir entries=" +
+                           std::to_string(listing.value().size()));
+        co_return;
+      }
+      co_await b.sim().delay(500_us);
+    }
+    throw std::runtime_error("faulted readdir never succeeded");
+  }(bed, clients));
+  bed.sim().set_trace_hook(nullptr);
+  return trace;
+}
+
 /// Prints the first diverging index with surrounding context from both runs.
 ::testing::AssertionResult traces_identical(const std::vector<std::string>& a,
                                             const std::vector<std::string>& b) {
@@ -190,6 +278,22 @@ TEST(PaconDeterminism, TraceCoversKernelAndCommitPath) {
   EXPECT_TRUE(any_contains(trace, "commit op=")) << "no commit notes in trace";
   EXPECT_TRUE(any_contains(trace, "barrier-drained epoch=")) << "no barrier note in trace";
   EXPECT_TRUE(any_contains(trace, "phase final-readdir")) << "workload note missing";
+}
+
+TEST(PaconDeterminism, FaultedRunSameSeedProducesIdenticalEventTrace) {
+  // Fault injection (wire drops/delays, a node outage, a commit-process
+  // crash) is part of the deterministic schedule: same seed, same trace.
+  const std::vector<std::string> run1 = run_traced_with_faults(42);
+  const std::vector<std::string> run2 = run_traced_with_faults(42);
+  EXPECT_TRUE(traces_identical(run1, run2));
+  EXPECT_GT(run1.size(), 1000u);
+  EXPECT_TRUE(any_contains(run1, "phase faulted-readdir")) << "workload note missing";
+}
+
+TEST(PaconDeterminism, FaultedRunDifferentSeedProducesDifferentTrace) {
+  const std::vector<std::string> run1 = run_traced_with_faults(42);
+  const std::vector<std::string> run2 = run_traced_with_faults(43);
+  EXPECT_NE(run1, run2) << "different seeds produced identical faulted traces";
 }
 
 TEST(PaconDeterminism, DifferentSeedProducesDifferentTrace) {
