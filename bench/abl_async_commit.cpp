@@ -22,6 +22,7 @@ double create_with(bool async_commit, std::size_t nodes) {
 }  // namespace
 
 int main() {
+  harness::enable_run_report("abl_async_commit");
   harness::print_banner("Ablation: Asynchronous Commit",
                         "sync commit = cache write + inline DFS apply; async = queue and "
                         "return. The async path is the scalability mechanism.");

@@ -53,6 +53,7 @@ BarrierMixResult create_with_barrier_mix(std::size_t nodes, int barrier_every) {
 }  // namespace
 
 int main() {
+  harness::enable_run_report("abl_barrier_cost");
   harness::print_banner("Ablation: Barrier Commit Cost",
                         "readdir (dependent op) mixed into a create storm; each barrier "
                         "drains all commit queues region-wide.");

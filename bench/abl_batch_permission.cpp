@@ -40,6 +40,7 @@ double stat_with(bool batch, int depth) {
 }  // namespace
 
 int main() {
+  harness::enable_run_report("abl_batch_permission");
   harness::print_banner("Ablation: Batch Permission Management",
                         "Batch = one local match; off = per-ancestor cache checks. "
                         "Gap widens with depth.");

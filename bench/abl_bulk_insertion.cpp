@@ -24,6 +24,7 @@ double nn_create_storm(SystemKind kind, bool bulk) {
 }  // namespace
 
 int main() {
+  harness::enable_run_report("abl_bulk_insertion");
   harness::print_banner(
       "Ablation: Bulk Insertion (BatchFS/DeltaFS approximation)",
       "IndexFS + client-side bulk insertion on an N-N create storm vs Pacon; bulk "

@@ -80,6 +80,7 @@ PressureResult run_with_cache(std::uint64_t cache_bytes_per_node,
 }  // namespace
 
 int main() {
+  harness::enable_run_report("abl_eviction");
   harness::print_banner("Ablation: Cache Space Management",
                         "Round-robin subtree eviction under shrinking caches; hit rate "
                         "degrades gracefully, correctness holds.");

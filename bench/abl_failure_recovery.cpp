@@ -141,6 +141,7 @@ Timeline failover_timeline() {
 }  // namespace
 
 int main() {
+  harness::enable_run_report("abl_failure_recovery");
   harness::print_banner("Ablation: Failure Recovery Cost",
                         "checkpoint-rollback recovery time vs work since checkpoint, and "
                         "the throughput dip while a cache node fails over.");

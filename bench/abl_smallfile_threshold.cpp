@@ -35,6 +35,7 @@ double small_io_with_threshold(std::uint64_t threshold_bytes) {
 }  // namespace
 
 int main() {
+  harness::enable_run_report("abl_smallfile_threshold");
   harness::print_banner("Ablation: Small-file Threshold",
                         "create+write+read of 2 KiB files vs inline threshold; 4 KiB is "
                         "the paper's prototype default.");

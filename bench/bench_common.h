@@ -10,6 +10,7 @@
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/run_report.h"
 #include "harness/testbed.h"
 #include "sim/combinators.h"
 #include "workload/mdtest.h"

@@ -24,6 +24,7 @@ double create_ops(SystemKind kind, std::size_t n_clients) {
 }  // namespace
 
 int main() {
+  harness::enable_run_report("fig01");
   harness::print_banner(
       "Figure 1: Client Scalability (motivation)",
       "BeeGFS and IndexFS file-create scalability flattens well below linear as "

@@ -39,6 +39,7 @@ double stat_ops_at_depth(SystemKind kind, int depth) {
 }  // namespace
 
 int main() {
+  harness::enable_run_report("fig02");
   harness::print_banner(
       "Figure 2: Path Traversal Cost (motivation)",
       "Random stat over fanout-5 leaf dirs; >47% loss at depth 6 vs depth 3 for the "

@@ -43,6 +43,7 @@ void run_op(const char* title, Op op) {
 }  // namespace
 
 int main() {
+  harness::enable_run_report("fig07");
   harness::print_banner(
       "Figure 7: Single-application Case",
       "Writes: Pacon >76.4x BeeGFS, >8.8x IndexFS. Stat: >6.5x BeeGFS, >2.6x IndexFS.");

@@ -101,6 +101,7 @@ void run_op(const char* title, Op op) {
 }  // namespace
 
 int main() {
+  harness::enable_run_report("fig08");
   harness::print_banner(
       "Figure 8: Multi-application Case",
       "320 clients split across 2..16 apps on disjoint dirs; total kops/s. Pacon >10x "

@@ -39,6 +39,7 @@ double stat_at_depth(SystemKind kind, int depth) {
 }  // namespace
 
 int main() {
+  harness::enable_run_report("fig09");
   harness::print_banner(
       "Figure 9: Path Traversal Overhead",
       "Depth 3 -> 6 random getattr: BeeGFS -63%, IndexFS -47%, Pacon ~flat.");

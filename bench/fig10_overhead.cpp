@@ -60,6 +60,7 @@ double raw_memcached_inserts() {
 }  // namespace
 
 int main() {
+  harness::enable_run_report("fig10");
   harness::print_banner(
       "Figure 10: Pacon Overhead vs raw Memcached",
       "Single client, no concurrency. Pacon >= 64.6% of raw Memcached insertion; "

@@ -25,6 +25,7 @@ double create_ops(SystemKind kind, std::size_t n_clients) {
 }  // namespace
 
 int main() {
+  harness::enable_run_report("fig11");
   harness::print_banner(
       "Figure 11: Scalability",
       "Normalized create throughput 1..320 clients; Pacon ~16.5x BeeGFS and ~2.8x "

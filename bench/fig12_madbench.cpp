@@ -53,6 +53,7 @@ wl::MadbenchBreakdown run_on(SystemKind kind) {
 }  // namespace
 
 int main() {
+  harness::enable_run_report("fig12");
   harness::print_banner(
       "Figure 12: Breakdown of MADbench2",
       "Total runtime ~equal on Pacon and BeeGFS (data-intensive); init slightly smaller "

@@ -20,6 +20,7 @@ struct Probe {
 }  // namespace
 
 int main() {
+  harness::enable_run_report("table1_op_semantics");
   harness::print_banner(
       "Table I: Main Metadata Operations in Pacon",
       "create/mkdir/rm: cache put + async independent commit; getattr: get, sync only on "

@@ -6,14 +6,21 @@
 //   ./build/examples/paconsim_cli [--system beegfs|indexfs|pacon]
 //                                 [--nodes N] [--clients-per-node M]
 //                                 [--op create|mkdir|stat] [--window-ms W]
-//                                 [--seed S]
+//                                 [--seed S] [--trace FILE] [--metrics FILE]
+//
+// --trace FILE installs an operation tracer and writes a Chrome trace-event
+// JSON (load it at chrome://tracing or ui.perfetto.dev). --metrics FILE
+// dumps the final metric registry as JSON.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "harness/experiment.h"
 #include "harness/report.h"
 #include "harness/testbed.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "sim/combinators.h"
 #include "workload/mdtest.h"
 
@@ -30,6 +37,8 @@ struct Options {
   std::string op = "create";
   std::uint64_t window_ms = 100;
   std::uint64_t seed = 1;
+  std::string trace_file;    // empty = tracing off
+  std::string metrics_file;  // empty = no metrics dump
 };
 
 bool parse_args(int argc, char** argv, Options& opt) {
@@ -68,6 +77,14 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return false;
       opt.seed = std::stoull(v);
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return false;
+      opt.trace_file = v;
+    } else if (arg == "--metrics") {
+      const char* v = next();
+      if (!v) return false;
+      opt.metrics_file = v;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -85,7 +102,8 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opt)) {
     std::cerr << "usage: paconsim_cli [--system beegfs|indexfs|pacon] [--nodes N]\n"
                  "                    [--clients-per-node M] [--op create|mkdir|stat]\n"
-                 "                    [--window-ms W] [--seed S]\n";
+                 "                    [--window-ms W] [--seed S]\n"
+                 "                    [--trace trace.json] [--metrics metrics.json]\n";
     return 2;
   }
 
@@ -94,6 +112,11 @@ int main(int argc, char** argv) {
   cfg.client_nodes = opt.nodes;
   cfg.seed = opt.seed;
   harness::TestBed bed(cfg);
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!opt.trace_file.empty()) {
+    tracer = std::make_unique<obs::Tracer>(bed.sim());
+    bed.sim().set_tracer(tracer.get());
+  }
   const fs::Credentials creds{1000, 1000};
   bed.provision_workspace("/ws", creds);
 
@@ -154,5 +177,16 @@ int main(int argc, char** argv) {
             << "throughput:    " << harness::SeriesTable::format_value(result.ops_per_sec() / 1e3)
             << " kops/s\n"
             << "events:        " << bed.sim().events_processed() << "\n";
+  if (tracer) {
+    tracer->write_chrome_json(opt.trace_file);
+    std::cout << "trace:         " << opt.trace_file << " (" << tracer->span_count()
+              << " spans)\n";
+    bed.sim().set_tracer(nullptr);
+  }
+  if (!opt.metrics_file.empty()) {
+    std::ofstream out(opt.metrics_file);
+    out << obs::metrics_json(bed.sim().metrics()) << "\n";
+    std::cout << "metrics:       " << opt.metrics_file << "\n";
+  }
   return 0;
 }

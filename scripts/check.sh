@@ -3,7 +3,9 @@
 # (when available), then the sanitizer matrix -- ASan+UBSan and TSan builds with -Werror and the
 # coroutine-lifetime detector compiled in, each running the entire ctest
 # suite (including the coroutine-detector unit tests and the determinism
-# checker). See DESIGN.md "Correctness tooling".
+# checker), and finally trace validation: a real paconsim_cli run exported
+# as Chrome trace JSON and held to scripts/trace_validate.py's invariants.
+# See DESIGN.md "Correctness tooling" and section 11 "Observability".
 #
 # Usage: scripts/check.sh [--fast] [--perf] [--jobs N]
 #   --fast   only the ASan+UBSan leg of the matrix (half the wall clock)
@@ -29,16 +31,16 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-echo "==== [1/4] sim-rules lint ===================================================="
+echo "==== [1/5] sim-rules lint ===================================================="
 "$root/scripts/lint_sim_rules.sh" "$root"
 
-echo "==== [2/4] markdown links ===================================================="
+echo "==== [2/5] markdown links ===================================================="
 "$root/scripts/check_markdown.sh" "$root"
 
-echo "==== [3/4] clang-tidy ========================================================"
+echo "==== [3/5] clang-tidy ========================================================"
 "$root/scripts/tidy.sh"
 
-echo "==== [4/4] sanitizer matrix: ${modes[*]} ====="
+echo "==== [4/5] sanitizer matrix: ${modes[*]} ====="
 for mode in "${modes[@]}"; do
   build="$root/build-check-$mode"
   echo "---- PACON_SANITIZE=$mode: configure ($build)"
@@ -57,6 +59,16 @@ for mode in "${modes[@]}"; do
     ctest --test-dir "$build" --output-on-failure --timeout 300 -j "$jobs"
 done
 
+echo "==== [5/5] trace validation =================================================="
+# Generate a real trace with the last sanitizer tree's CLI and hold it to the
+# exporter's invariants: balanced begin/end, monotonic timestamps, parents
+# that resolve and enclose their children.
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+"$build/examples/paconsim_cli" --system pacon --nodes 4 --clients-per-node 2 \
+  --window-ms 20 --trace "$tracedir/trace.json" >/dev/null
+python3 "$root/scripts/trace_validate.py" "$tracedir/trace.json"
+
 if [[ "$perf" == 1 ]]; then
   echo "==== [perf] Release+LTO benchmark (scripts/perfbench.sh) ====================="
   # Separate build tree (build-perf): perfbench.sh refuses to measure a
@@ -64,4 +76,4 @@ if [[ "$perf" == 1 ]]; then
   "$root/scripts/perfbench.sh" --build-dir "$root/build-perf"
 fi
 
-echo "check.sh: all gates passed (lint, markdown, tidy, sanitizer matrix: ${modes[*]}$([[ "$perf" == 1 ]] && echo ', perf'))"
+echo "check.sh: all gates passed (lint, markdown, tidy, sanitizer matrix: ${modes[*]}, trace$([[ "$perf" == 1 ]] && echo ', perf'))"

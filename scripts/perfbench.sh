@@ -8,13 +8,15 @@
 # numbers of the PR that introduced this harness) and never overwritten.
 #
 # Usage: scripts/perfbench.sh [--build-dir DIR] [--scale N] [--label TEXT]
-#                             [--skip-fig07] [--out FILE]
+#                             [--skip-fig07] [--out FILE] [--metrics [DIR]]
 #   --build-dir DIR  build tree to use (default: build-perf; configured
 #                    Release + PACON_LTO=ON automatically if missing)
 #   --scale N        perf_kernel iteration multiplier (default 1)
 #   --label TEXT     free-form label stored with the results (e.g. a PR id)
 #   --out FILE       output JSON (default: BENCH_kernel.json at the repo root)
 #   --skip-fig07     engine micro-benchmarks only
+#   --metrics [DIR]  archive the fig07 run-report sidecar (fig07_metrics.json)
+#                    into DIR (default: bench-metrics/ at the repo root)
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -23,6 +25,7 @@ scale=1
 label=""
 out="$root/BENCH_kernel.json"
 run_fig07=1
+metrics_dir=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -31,6 +34,9 @@ while [[ $# -gt 0 ]]; do
     --label) label="$2"; shift 2 ;;
     --out) out="$2"; shift 2 ;;
     --skip-fig07) run_fig07=0; shift ;;
+    --metrics)
+      if [[ $# -gt 1 && "$2" != --* ]]; then metrics_dir="$2"; shift 2
+      else metrics_dir="$root/bench-metrics"; shift; fi ;;
     *) echo "perfbench: unknown argument: $1" >&2; exit 2 ;;
   esac
 done
@@ -73,11 +79,19 @@ echo "perfbench: running perf_kernel (scale=$scale)"
 fig07_seconds="null"
 if [[ "$run_fig07" == 1 ]]; then
   echo "perfbench: running fig07_single_app (fixed seed, full figure)"
+  fig07_env=()
+  if [[ -n "$metrics_dir" ]]; then
+    mkdir -p "$metrics_dir"
+    fig07_env=(PACON_METRICS_DIR="$metrics_dir")
+  fi
   t0="$(date +%s.%N)"
-  "$build/bench/fig07_single_app" > "$tmp/fig07.out"
+  env "${fig07_env[@]}" "$build/bench/fig07_single_app" > "$tmp/fig07.out"
   t1="$(date +%s.%N)"
   fig07_seconds="$(python3 -c "print(f'{$t1 - $t0:.3f}')")"
   echo "perfbench: fig07_single_app wall clock: ${fig07_seconds}s"
+  if [[ -n "$metrics_dir" ]]; then
+    echo "perfbench: archived run-report sidecar: $metrics_dir/fig07_metrics.json"
+  fi
 fi
 
 FIG07="$fig07_seconds" LABEL="$label" OUT="$out" KERNEL="$tmp/kernel.json" \

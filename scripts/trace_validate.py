@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON produced by the Pacon tracer.
+
+Checks, per trace file:
+  * the document parses and carries a "traceEvents" array;
+  * every nestable-async span (id) has exactly one begin ("b") and one
+    end ("e"), with begin <= end;
+  * record timestamps are monotonically non-decreasing in file order
+    (the exporter sorts by (ts, phase-rank, seq));
+  * every span's declared parent id resolves to a span in the same file,
+    and the parent's interval encloses the child's begin;
+  * instant events ("n") land on a known span id.
+
+Metadata records (ph == "M") are ignored. Exit status 0 = all files pass.
+
+Usage: trace_validate.py TRACE.json [TRACE2.json ...]
+"""
+
+import json
+import sys
+
+
+def fail(path: str, msg: str) -> None:
+    print(f"trace_validate: {path}: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path: str) -> int:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"unreadable or not JSON: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(path, 'missing "traceEvents" array')
+
+    begins = {}  # id -> (ts, parent)
+    ends = {}  # id -> ts
+    last_ts = None
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":  # metadata (process names): no ts, no id
+            continue
+        if ph not in ("b", "n", "e"):
+            fail(path, f"record {i}: unexpected phase {ph!r}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(path, f"record {i}: missing numeric ts")
+        if last_ts is not None and ts < last_ts:
+            fail(path, f"record {i}: timestamp regressed ({ts} < {last_ts})")
+        last_ts = ts
+        span = ev.get("id")
+        if not isinstance(span, int) or span <= 0:
+            fail(path, f"record {i}: missing positive span id")
+        if ph == "b":
+            if span in begins:
+                fail(path, f"span {span}: duplicate begin")
+            begins[span] = (ts, ev.get("args", {}).get("parent", 0))
+        elif ph == "e":
+            if span not in begins:
+                fail(path, f"span {span}: end before begin")
+            if span in ends:
+                fail(path, f"span {span}: duplicate end")
+            if ts < begins[span][0]:
+                fail(path, f"span {span}: ends before it begins")
+            ends[span] = ts
+        else:  # instant
+            if span not in begins:
+                fail(path, f"record {i}: instant event on unknown span {span}")
+
+    unbalanced = set(begins) - set(ends)
+    if unbalanced:
+        fail(path, f"spans without end: {sorted(unbalanced)[:10]}")
+
+    for span, (ts, parent) in begins.items():
+        if parent == 0:
+            continue  # root
+        if parent not in begins:
+            fail(path, f"span {span}: parent {parent} not in trace")
+        if not begins[parent][0] <= ts <= ends[parent]:
+            fail(path, f"span {span}: begins outside parent {parent}'s interval")
+
+    print(f"trace_validate: {path}: OK ({len(begins)} spans, {len(events)} records)")
+    return len(begins)
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        validate(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

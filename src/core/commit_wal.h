@@ -21,6 +21,7 @@
 
 #include "core/op_message.h"
 #include "sim/disk.h"
+#include "sim/metrics.h"
 #include "sim/simulation.h"
 #include "sim/time.h"
 
@@ -40,6 +41,7 @@ class CommitWal {
     log_.push_back(msg);
     dirty_bytes_ += kRecordOverhead + msg.path.size();
     ++appends_;
+    note_backlog();
   }
 
   /// The DFS applied op `op_id`; it will not be redelivered.
@@ -48,6 +50,7 @@ class CommitWal {
     dirty_bytes_ += kAckBytes;
     ++acks_;
     compact();
+    note_backlog();
   }
 
   bool acked(std::uint64_t op_id) const { return acked_.contains(op_id); }
@@ -64,6 +67,14 @@ class CommitWal {
   }
 
   std::size_t backlog() const { return log_.size() - acked_.size(); }
+
+  /// Optional metrics hook: the WAL cannot name a registry metric itself
+  /// (it does not know which region/node it belongs to), so the owner
+  /// resolves a gauge and hands it in. Tracks the unacked backlog.
+  void set_backlog_gauge(sim::Gauge* g) {
+    backlog_gauge_ = g;
+    note_backlog();
+  }
   std::uint64_t appends() const { return appends_; }
   std::uint64_t acks() const { return acks_; }
   std::uint64_t flushes() const { return flushes_; }
@@ -99,6 +110,10 @@ class CommitWal {
     }
   }
 
+  void note_backlog() {
+    if (backlog_gauge_ != nullptr) backlog_gauge_->set(static_cast<std::int64_t>(backlog()));
+  }
+
   sim::Simulation& sim_;
   sim::SimDisk& disk_;
   sim::SimDuration flush_period_;
@@ -109,6 +124,7 @@ class CommitWal {
   std::uint64_t acks_ = 0;
   std::uint64_t flushes_ = 0;
   bool stopped_ = false;
+  sim::Gauge* backlog_gauge_ = nullptr;
 };
 
 }  // namespace pacon::core

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "sim/metrics.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
 
@@ -33,6 +34,14 @@ class EpochCoordinator {
 
   /// Epoch currently being committed (ops stamped with this value flow).
   std::uint64_t current_epoch() const { return current_; }
+
+  /// Optional metrics hook: the coordinator cannot name a registry metric
+  /// itself (it does not know which region it serves), so the owner resolves
+  /// a gauge and hands it in. Tracks the current epoch as it advances.
+  void set_state_gauge(sim::Gauge* g) {
+    state_gauge_ = g;
+    if (state_gauge_ != nullptr) state_gauge_->set(static_cast<std::int64_t>(current_));
+  }
 
   /// Adjusts how many nodes must report per barrier (nodes without clients
   /// or crashed nodes do not participate). Safe to call between barriers --
@@ -74,6 +83,7 @@ class EpochCoordinator {
   void complete_epoch(std::uint64_t e) {
     if (e < current_) return;
     current_ = e + 1;
+    if (state_gauge_ != nullptr) state_gauge_->set(static_cast<std::int64_t>(current_));
     proceed_gate(current_).open();
     nodes_done_.erase(e);
     drained_gates_.erase(e);
@@ -101,6 +111,7 @@ class EpochCoordinator {
   sim::Simulation& sim_;
   std::size_t node_count_;
   std::uint64_t current_ = 0;
+  sim::Gauge* state_gauge_ = nullptr;
   std::unordered_set<std::uint64_t> aborted_;
   std::unordered_map<std::uint64_t, std::size_t> nodes_done_;
   std::unordered_map<std::uint64_t, std::unique_ptr<sim::Gate>> drained_gates_;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "fs/types.h"
+#include "obs/span_id.h"
 #include "sim/time.h"
 
 namespace pacon::core {
@@ -32,6 +33,11 @@ struct OpMessage {
   /// Region-unique id assigned at publish time (0 = never published). Keys
   /// the determinism trace so same-seed runs can be compared op-by-op.
   std::uint64_t op_id = 0;
+  /// Tracing context: the commit span opened when this op was published
+  /// (0 = untraced run). Riding in the message is what carries causality
+  /// across the pub/sub hop -- and, because the WAL stores whole messages,
+  /// across commit-process crashes into redelivery.
+  obs::SpanId span = obs::kNoSpan;
 };
 
 constexpr const char* to_string(OpMessage::Kind kind) {

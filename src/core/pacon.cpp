@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace pacon::core {
 
 using fs::FsError;
@@ -117,23 +119,28 @@ sim::Task<FsResult<void>> Pacon::fsync(const fs::Path& path) {
 }
 
 sim::Task<FsResult<void>> Pacon::do_mkdir(const fs::Path& path, fs::FileMode mode) {
+  // Root span of the operation (opened whenever a tracer is installed on
+  // the simulation); every layer below hangs its work off op.id().
+  obs::Span op(rt_.sim.tracer(), "pacon.mkdir", obs::kNoSpan, node_.value);
   ConsistentRegion* region = nullptr;
   switch (route_of(path, &region)) {
     case Route::own_region: {
       refresh_hints();
       const bool parent_known =
           parent_hints_.find(fs::SpellingKey{path.parent_view(), path.parent_hash()}, rt_.sim.now()) != nullptr;
-      auto r = co_await region->mkdir(node_, client_id_, path, mode, parent_known);
+      auto r = co_await region->mkdir(node_, client_id_, path, mode, parent_known, op.id());
       if (r) {
         parent_hints_.insert(path, 1, rt_.sim.now());
         parent_hints_.insert(fs::SpellingKey{path.parent_view(), path.parent_hash()}, 1, rt_.sim.now());
       }
+      op.finish(r ? "ok" : "error");
       co_return r;
     }
     case Route::merged_region:
       co_return fs::fail(FsError::permission);  // merged regions are read-only
     case Route::dfs: {
-      auto r = co_await dfs_fallback_->mkdir(path, mode);
+      auto r = co_await dfs_fallback_->mkdir(path, mode, op.id());
+      op.finish(r ? "ok" : "error");
       if (!r) co_return fs::fail(r.error());
       co_return FsResult<void>{};
     }
@@ -142,20 +149,23 @@ sim::Task<FsResult<void>> Pacon::do_mkdir(const fs::Path& path, fs::FileMode mod
 }
 
 sim::Task<FsResult<void>> Pacon::do_create(const fs::Path& path, fs::FileMode mode) {
+  obs::Span op(rt_.sim.tracer(), "pacon.create", obs::kNoSpan, node_.value);
   ConsistentRegion* region = nullptr;
   switch (route_of(path, &region)) {
     case Route::own_region: {
       refresh_hints();
       const bool parent_known =
           parent_hints_.find(fs::SpellingKey{path.parent_view(), path.parent_hash()}, rt_.sim.now()) != nullptr;
-      auto r = co_await region->create(node_, client_id_, path, mode, parent_known);
+      auto r = co_await region->create(node_, client_id_, path, mode, parent_known, op.id());
       if (r) parent_hints_.insert(fs::SpellingKey{path.parent_view(), path.parent_hash()}, 1, rt_.sim.now());
+      op.finish(r ? "ok" : "error");
       co_return r;
     }
     case Route::merged_region:
       co_return fs::fail(FsError::permission);
     case Route::dfs: {
-      auto r = co_await dfs_fallback_->create(path, mode);
+      auto r = co_await dfs_fallback_->create(path, mode, op.id());
+      op.finish(r ? "ok" : "error");
       if (!r) co_return fs::fail(r.error());
       co_return FsResult<void>{};
     }
@@ -164,91 +174,140 @@ sim::Task<FsResult<void>> Pacon::do_create(const fs::Path& path, fs::FileMode mo
 }
 
 sim::Task<FsResult<fs::InodeAttr>> Pacon::do_getattr(const fs::Path& path) {
+  obs::Span op(rt_.sim.tracer(), "pacon.getattr", obs::kNoSpan, node_.value);
   ConsistentRegion* region = nullptr;
   switch (route_of(path, &region)) {
     case Route::own_region:
-    case Route::merged_region:
-      co_return co_await region->getattr(node_, path);
-    case Route::dfs:
-      co_return co_await dfs_fallback_->getattr(path);
+    case Route::merged_region: {
+      auto r = co_await region->getattr(node_, path, op.id());
+      op.finish(r ? "ok" : "error");
+      co_return r;
+    }
+    case Route::dfs: {
+      auto r = co_await dfs_fallback_->getattr(path, op.id());
+      op.finish(r ? "ok" : "error");
+      co_return r;
+    }
   }
   co_return fs::fail(FsError::invalid);
 }
 
 sim::Task<FsResult<void>> Pacon::do_remove(const fs::Path& path) {
+  obs::Span op(rt_.sim.tracer(), "pacon.remove", obs::kNoSpan, node_.value);
   ConsistentRegion* region = nullptr;
   switch (route_of(path, &region)) {
-    case Route::own_region:
-      co_return co_await region->remove(node_, client_id_, path);
+    case Route::own_region: {
+      auto r = co_await region->remove(node_, client_id_, path, op.id());
+      op.finish(r ? "ok" : "error");
+      co_return r;
+    }
     case Route::merged_region:
       co_return fs::fail(FsError::permission);
-    case Route::dfs:
-      co_return co_await dfs_fallback_->unlink(path);
+    case Route::dfs: {
+      auto r = co_await dfs_fallback_->unlink(path, op.id());
+      op.finish(r ? "ok" : "error");
+      co_return r;
+    }
   }
   co_return fs::fail(FsError::invalid);
 }
 
 sim::Task<FsResult<void>> Pacon::do_rmdir(const fs::Path& path) {
+  obs::Span op(rt_.sim.tracer(), "pacon.rmdir", obs::kNoSpan, node_.value);
   ConsistentRegion* region = nullptr;
   switch (route_of(path, &region)) {
-    case Route::own_region:
-      co_return co_await region->rmdir(node_, client_id_, path);
+    case Route::own_region: {
+      auto r = co_await region->rmdir(node_, client_id_, path, op.id());
+      op.finish(r ? "ok" : "error");
+      co_return r;
+    }
     case Route::merged_region:
       co_return fs::fail(FsError::permission);
-    case Route::dfs:
-      co_return co_await dfs_fallback_->rmdir(path);
+    case Route::dfs: {
+      auto r = co_await dfs_fallback_->rmdir(path, op.id());
+      op.finish(r ? "ok" : "error");
+      co_return r;
+    }
   }
   co_return fs::fail(FsError::invalid);
 }
 
 sim::Task<FsResult<std::vector<fs::DirEntry>>> Pacon::do_readdir(const fs::Path& path) {
+  obs::Span op(rt_.sim.tracer(), "pacon.readdir", obs::kNoSpan, node_.value);
   ConsistentRegion* region = nullptr;
   switch (route_of(path, &region)) {
     case Route::own_region:
-    case Route::merged_region:
-      co_return co_await region->readdir(node_, client_id_, path);
-    case Route::dfs:
-      co_return co_await dfs_fallback_->readdir(path);
+    case Route::merged_region: {
+      auto r = co_await region->readdir(node_, client_id_, path, op.id());
+      op.finish(r ? "ok" : "error");
+      co_return r;
+    }
+    case Route::dfs: {
+      auto r = co_await dfs_fallback_->readdir(path, op.id());
+      op.finish(r ? "ok" : "error");
+      co_return r;
+    }
   }
   co_return fs::fail(FsError::invalid);
 }
 
 sim::Task<FsResult<std::uint64_t>> Pacon::do_write(const fs::Path& path, std::uint64_t offset,
                                                 std::uint64_t length) {
+  obs::Span op(rt_.sim.tracer(), "pacon.write", obs::kNoSpan, node_.value);
   ConsistentRegion* region = nullptr;
   switch (route_of(path, &region)) {
-    case Route::own_region:
-      co_return co_await region->write(node_, client_id_, path, offset, length);
+    case Route::own_region: {
+      auto r = co_await region->write(node_, client_id_, path, offset, length, op.id());
+      op.finish(r ? "ok" : "error");
+      co_return r;
+    }
     case Route::merged_region:
       co_return fs::fail(FsError::permission);
-    case Route::dfs:
-      co_return co_await dfs_fallback_->write(path, offset, length);
+    case Route::dfs: {
+      auto r = co_await dfs_fallback_->write(path, offset, length, op.id());
+      op.finish(r ? "ok" : "error");
+      co_return r;
+    }
   }
   co_return fs::fail(FsError::invalid);
 }
 
 sim::Task<FsResult<std::uint64_t>> Pacon::do_read(const fs::Path& path, std::uint64_t offset,
                                                std::uint64_t length) {
+  obs::Span op(rt_.sim.tracer(), "pacon.read", obs::kNoSpan, node_.value);
   ConsistentRegion* region = nullptr;
   switch (route_of(path, &region)) {
     case Route::own_region:
-    case Route::merged_region:
-      co_return co_await region->read(node_, path, offset, length);
-    case Route::dfs:
-      co_return co_await dfs_fallback_->read(path, offset, length);
+    case Route::merged_region: {
+      auto r = co_await region->read(node_, path, offset, length, op.id());
+      op.finish(r ? "ok" : "error");
+      co_return r;
+    }
+    case Route::dfs: {
+      auto r = co_await dfs_fallback_->read(path, offset, length, op.id());
+      op.finish(r ? "ok" : "error");
+      co_return r;
+    }
   }
   co_return fs::fail(FsError::invalid);
 }
 
 sim::Task<FsResult<void>> Pacon::do_fsync(const fs::Path& path) {
+  obs::Span op(rt_.sim.tracer(), "pacon.fsync", obs::kNoSpan, node_.value);
   ConsistentRegion* region = nullptr;
   switch (route_of(path, &region)) {
-    case Route::own_region:
-      co_return co_await region->fsync(node_, path);
+    case Route::own_region: {
+      auto r = co_await region->fsync(node_, path, op.id());
+      op.finish(r ? "ok" : "error");
+      co_return r;
+    }
     case Route::merged_region:
       co_return fs::fail(FsError::permission);
-    case Route::dfs:
-      co_return co_await dfs_fallback_->fsync(path);
+    case Route::dfs: {
+      auto r = co_await dfs_fallback_->fsync(path, op.id());
+      op.finish(r ? "ok" : "error");
+      co_return r;
+    }
   }
   co_return fs::fail(FsError::invalid);
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <set>
 
+#include "obs/trace.h"
 #include "sim/combinators.h"
 
 namespace pacon::core {
@@ -19,6 +20,14 @@ std::string subtree_prefix(const fs::Path& dir) {
   return dir.is_root() ? std::string("/") : dir.str() + "/";
 }
 
+/// Metric namespace of a region: "region.<root>" with '/' flattened to '_'
+/// ('.' is the scope separator, '/' would read as nested scopes).
+std::string region_metric_scope(const fs::Path& root) {
+  std::string tag = root.str();
+  std::replace(tag.begin(), tag.end(), '/', '_');
+  return "region." + tag;
+}
+
 }  // namespace
 
 ConsistentRegion::ConsistentRegion(sim::Simulation& sim, net::Fabric& fabric,
@@ -31,7 +40,19 @@ ConsistentRegion::ConsistentRegion(sim::Simulation& sim, net::Fabric& fabric,
       epochs_(sim, config_.nodes.size()),
       barrier_mutex_(sim),
       rng_(sim.rng().fork("region-retry")),
-      drained_gate_(sim) {
+      drained_gate_(sim),
+      queue_depth_gauge_(sim.metrics().scoped(region_metric_scope(config_.root))
+                             .gauge("commit_queue_depth")),
+      degraded_gauge_(
+          sim.metrics().scoped(region_metric_scope(config_.root)).gauge("degraded_latch")),
+      committed_ctr_(
+          sim.metrics().scoped(region_metric_scope(config_.root)).counter("committed_ops")),
+      retries_ctr_(
+          sim.metrics().scoped(region_metric_scope(config_.root)).counter("commit_retries")),
+      redelivered_ctr_(
+          sim.metrics().scoped(region_metric_scope(config_.root)).counter("redelivered_ops")),
+      degraded_ctr_(
+          sim.metrics().scoped(region_metric_scope(config_.root)).counter("degraded_ops")) {
   if (!config_.root.valid() || config_.nodes.empty()) {
     throw std::invalid_argument("ConsistentRegion: workspace path and nodes are required");
   }
@@ -50,6 +71,9 @@ ConsistentRegion::ConsistentRegion(sim::Simulation& sim, net::Fabric& fabric,
   bus_->set_reliable_transport(true);
   pending_by_path_.reserve(4096);
 
+  sim::MetricScope scope = sim_.metrics().scoped(region_metric_scope(config_.root));
+  epochs_.set_state_gauge(&scope.gauge("epoch"));
+
   for (const auto node : config_.nodes) {
     cache_->add_server(node);
     auto state = std::make_unique<NodeState>();
@@ -65,6 +89,8 @@ ConsistentRegion::ConsistentRegion(sim::Simulation& sim, net::Fabric& fabric,
     state->spill_disk = std::make_unique<sim::SimDisk>(sim_, sim::DiskConfig::nvme());
     state->wal_disk = std::make_unique<sim::SimDisk>(sim_, sim::DiskConfig::nvme());
     state->wal = std::make_unique<CommitWal>(sim_, *state->wal_disk, config_.wal_flush_period);
+    state->wal->set_backlog_gauge(
+        &scope.scoped("n" + std::to_string(node.value)).gauge("wal_backlog"));
     node_states_.push_back(std::move(state));
     sim_.spawn(sorter_loop(*node_states_.back()));
     sim_.spawn(committer_loop(*node_states_.back()));
@@ -91,6 +117,16 @@ void ConsistentRegion::pending_decrement(const std::string& path) {
   auto it = pending_by_path_.find(path);
   if (it != pending_by_path_.end() && --it->second == 0) pending_by_path_.erase(it);
   if (pending_total_ > 0 && --pending_total_ == 0) drained_gate_.open();
+  queue_depth_gauge_.set(static_cast<std::int64_t>(pending_total_));
+}
+
+void ConsistentRegion::note_degraded(obs::SpanId span) {
+  ++degraded_ops_;
+  degraded_ctr_.add();
+  degraded_gauge_.set(1);
+  if (obs::Tracer* tracer = sim_.tracer(); tracer != nullptr && span != obs::kNoSpan) {
+    tracer->event(span, "degraded_passthrough");
+  }
 }
 
 ConsistentRegion::~ConsistentRegion() {
@@ -127,7 +163,8 @@ std::uint32_t ConsistentRegion::register_client(net::NodeId node) {
 
 sim::Task<FsResult<void>> ConsistentRegion::check_permission(net::NodeId from,
                                                              const fs::Path& path,
-                                                             fs::Access access) {
+                                                             fs::Access access,
+                                                             obs::SpanId span) {
   if (config_.batch_permission) {
     // One local match against the predefined table (Section III.C).
     co_await sim_.delay(config_.permission_check_cpu);
@@ -147,7 +184,7 @@ sim::Task<FsResult<void>> ConsistentRegion::check_permission(net::NodeId from,
   for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
     const bool leaf = (*it == path);
     const fs::Access want = leaf ? access : fs::Access::execute;
-    auto meta = co_await cache_get(from, *it);
+    auto meta = co_await cache_get(from, *it, span);
     if (meta) {
       if (!fs::permits(meta->attr.mode, meta->attr.uid, meta->attr.gid, config_.creds, want)) {
         co_return fs::fail(FsError::permission);
@@ -155,7 +192,7 @@ sim::Task<FsResult<void>> ConsistentRegion::check_permission(net::NodeId from,
       continue;
     }
     // Not cached: consult the DFS (charges full traversal there).
-    auto attr = co_await state_for(from).dfs_client->getattr(*it);
+    auto attr = co_await state_for(from).dfs_client->getattr(*it, span);
     if (!attr) {
       if (leaf) continue;  // leaf may be about to be created
       co_return fs::fail(attr.error());
@@ -168,10 +205,11 @@ sim::Task<FsResult<void>> ConsistentRegion::check_permission(net::NodeId from,
 }
 
 sim::Task<FsResult<void>> ConsistentRegion::check_parent(net::NodeId from,
-                                                         const fs::Path& path) {
+                                                         const fs::Path& path,
+                                                         obs::SpanId span) {
   const fs::Path parent = path.parent();
   if (!contains(parent)) co_return FsResult<void>{};  // workspace root's parent
-  auto meta = co_await cache_get(from, parent);
+  auto meta = co_await cache_get(from, parent, span);
   if (meta) {
     if (meta->removed) co_return fs::fail(FsError::not_found);
     if (!meta->attr.is_dir()) co_return fs::fail(FsError::not_a_directory);
@@ -179,33 +217,41 @@ sim::Task<FsResult<void>> ConsistentRegion::check_parent(net::NodeId from,
   }
   if (!config_.parent_check) co_return FsResult<void>{};
   // Parent exists on the DFS but is not cached: synchronous check + load.
-  auto attr = co_await state_for(from).dfs_client->getattr(parent);
+  auto attr = co_await state_for(from).dfs_client->getattr(parent, span);
   if (!attr) co_return fs::fail(attr.error());
   if (!attr->is_dir()) co_return fs::fail(FsError::not_a_directory);
   CachedMeta meta_new;
   meta_new.attr = *attr;
-  (void)co_await cache_->add(from, parent.str(), encode_meta(meta_new), 0, parent.hash());
+  (void)co_await cache_->add(from, parent.str(), encode_meta(meta_new), 0, parent.hash(), span);
   co_return FsResult<void>{};
 }
 
 // ---- Cache helpers ----------------------------------------------------------
 
 sim::Task<std::optional<CachedMeta>> ConsistentRegion::cache_get(net::NodeId from,
-                                                                 const fs::Path& path) {
-  const auto resp = co_await cache_->get(from, path.str(), path.hash());
+                                                                 const fs::Path& path,
+                                                                 obs::SpanId span) {
+  const auto resp = co_await cache_->get(from, path.str(), path.hash(), span);
   if (resp.status != kv::KvStatus::ok) co_return std::nullopt;
   co_return decode_meta(resp.value);
 }
 
-void ConsistentRegion::publish(std::uint32_t client, OpMessage msg) {
+void ConsistentRegion::publish(std::uint32_t client, OpMessage msg, obs::SpanId parent) {
   NodeState* home = clients_.at(client);
   msg.client_id = client;
   msg.epoch = client_epochs_.at(client);
   msg.timestamp = sim_.now();
   msg.op_id = ++next_op_id_;
+  if (obs::Tracer* tracer = sim_.tracer(); tracer != nullptr && parent != obs::kNoSpan) {
+    // The commit span deliberately outlives this call: it rides inside the
+    // message across the pub/sub hop (and any WAL redelivery) and closes
+    // only when apply_and_account settles the op's fate on the DFS.
+    msg.span = tracer->begin_span("commit", parent, home->node.value);
+  }
   if (!is_barrier(msg)) {
     ++pending_by_path_[msg.path];
     ++pending_total_;
+    queue_depth_gauge_.set(static_cast<std::int64_t>(pending_total_));
   }
   sim_.trace_note_lazy([&] {
     return "publish op=" + std::to_string(msg.op_id) + " kind=" + to_string(msg.kind) +
@@ -222,11 +268,12 @@ sim::Task<FsResult<void>> ConsistentRegion::create_common(net::NodeId from,
                                                           const fs::Path& path,
                                                           fs::FileMode mode,
                                                           fs::FileType type,
-                                                          bool parent_known) {
-  auto perm = co_await check_permission(from, path.parent(), fs::Access::write);
+                                                          bool parent_known,
+                                                          obs::SpanId parent) {
+  auto perm = co_await check_permission(from, path.parent(), fs::Access::write, parent);
   if (!perm) co_return perm;
   if (!parent_known) {
-    auto parent_ok = co_await check_parent(from, path);
+    auto parent_ok = co_await check_parent(from, path, parent);
     if (!parent_ok) co_return parent_ok;
   }
 
@@ -239,7 +286,8 @@ sim::Task<FsResult<void>> ConsistentRegion::create_common(net::NodeId from,
   meta.attr.nlink = type == fs::FileType::directory ? 2 : 1;
   meta.attr.ctime = sim_.now();
   meta.attr.mtime = sim_.now();
-  const auto resp = co_await cache_->add(from, path.str(), encode_meta(meta), 0, path.hash());
+  const auto resp =
+      co_await cache_->add(from, path.str(), encode_meta(meta), 0, path.hash(), parent);
   if (resp.status == kv::KvStatus::exists) {
     // A marked-removed entry may be awaiting its remove commit; replacing it
     // would resurrect ordering problems, so surface EEXIST until then.
@@ -250,10 +298,10 @@ sim::Task<FsResult<void>> ConsistentRegion::create_common(net::NodeId from,
     // ring failover exhausted). The entry is not cached, but the namespace
     // still advances via a synchronous DFS commit; cached coverage rebuilds
     // lazily once the node returns.
-    ++degraded_ops_;
+    note_degraded(parent);
     dfs::DfsClient& direct = *state_for(from).dfs_client;
-    auto committed = type == fs::FileType::directory ? co_await direct.mkdir(path, mode)
-                                                     : co_await direct.create(path, mode);
+    auto committed = type == fs::FileType::directory ? co_await direct.mkdir(path, mode, parent)
+                                                     : co_await direct.create(path, mode, parent);
     if (!committed) co_return fs::fail(committed.error());
     co_return FsResult<void>{};
   }
@@ -266,80 +314,81 @@ sim::Task<FsResult<void>> ConsistentRegion::create_common(net::NodeId from,
   op.creds = config_.creds;
   if (config_.async_commit) {
     co_await sim_.delay(config_.queue_publish_cpu);
-    publish(client, op);
+    publish(client, op, parent);
     co_return FsResult<void>{};
   }
   // Ablation: synchronous commit through this node's DFS client.
   dfs::DfsClient& io = *state_for(from).dfs_client;
-  auto committed = type == fs::FileType::directory ? co_await io.mkdir(path, mode)
-                                                   : co_await io.create(path, mode);
+  auto committed = type == fs::FileType::directory ? co_await io.mkdir(path, mode, parent)
+                                                   : co_await io.create(path, mode, parent);
   if (!committed) co_return fs::fail(committed.error());
   co_return FsResult<void>{};
 }
 
 sim::Task<FsResult<void>> ConsistentRegion::mkdir(net::NodeId from, std::uint32_t client,
                                                   const fs::Path& path, fs::FileMode mode,
-                                                  bool parent_known) {
-  return create_common(from, client, path, mode, fs::FileType::directory, parent_known);
+                                                  bool parent_known, obs::SpanId parent) {
+  return create_common(from, client, path, mode, fs::FileType::directory, parent_known, parent);
 }
 
 sim::Task<FsResult<void>> ConsistentRegion::create(net::NodeId from, std::uint32_t client,
                                                    const fs::Path& path, fs::FileMode mode,
-                                                   bool parent_known) {
-  return create_common(from, client, path, mode, fs::FileType::file, parent_known);
+                                                   bool parent_known, obs::SpanId parent) {
+  return create_common(from, client, path, mode, fs::FileType::file, parent_known, parent);
 }
 
 // ---- getattr ------------------------------------------------------------------
 
 sim::Task<FsResult<fs::InodeAttr>> ConsistentRegion::getattr(net::NodeId from,
-                                                             const fs::Path& path) {
-  auto perm = co_await check_permission(from, path, fs::Access::read);
+                                                             const fs::Path& path,
+                                                             obs::SpanId parent) {
+  auto perm = co_await check_permission(from, path, fs::Access::read, parent);
   if (!perm) co_return fs::fail(perm.error());
-  auto meta = co_await cache_get(from, path);
+  auto meta = co_await cache_get(from, path, parent);
   if (meta) {
     if (meta->removed) co_return fs::fail(FsError::not_found);
     co_return meta->attr;
   }
   // Miss: synchronously load from the DFS (Table I: getattr on miss).
-  auto attr = co_await state_for(from).dfs_client->getattr(path);
+  auto attr = co_await state_for(from).dfs_client->getattr(path, parent);
   if (!attr) co_return fs::fail(attr.error());
   CachedMeta loaded;
   loaded.attr = *attr;
   loaded.large_file = attr->size > config_.small_file_threshold;
-  (void)co_await cache_->add(from, path.str(), encode_meta(loaded), 0, path.hash());
+  (void)co_await cache_->add(from, path.str(), encode_meta(loaded), 0, path.hash(), parent);
   co_return *attr;
 }
 
 // ---- remove (rm) ----------------------------------------------------------------
 
 sim::Task<FsResult<void>> ConsistentRegion::remove(net::NodeId from, std::uint32_t client,
-                                                   const fs::Path& path) {
-  auto perm = co_await check_permission(from, path.parent(), fs::Access::write);
+                                                   const fs::Path& path, obs::SpanId parent) {
+  auto perm = co_await check_permission(from, path.parent(), fs::Access::write, parent);
   if (!perm) co_return perm;
 
   // CAS loop: mark the entry removed (Table I: rm = update & delete; the
   // cached copy is deleted by the commit process once the DFS applied it).
   for (;;) {
-    const auto cur = co_await cache_->get(from, path.str(), path.hash());
+    const auto cur = co_await cache_->get(from, path.str(), path.hash(), parent);
     if (cur.status == kv::KvStatus::unreachable) {
       // Degraded pass-through: the key's cache shard is gone; unlink
       // synchronously on the DFS (nothing cached survives to go stale).
-      ++degraded_ops_;
-      auto done = co_await state_for(from).dfs_client->unlink(path);
+      note_degraded(parent);
+      auto done = co_await state_for(from).dfs_client->unlink(path, parent);
       if (!done) co_return fs::fail(done.error());
       ++invalidation_epoch_;
       co_return FsResult<void>{};
     }
     if (cur.status == kv::KvStatus::not_found) {
       // Not cached: verify against the DFS before queueing the remove.
-      auto attr = co_await state_for(from).dfs_client->getattr(path);
+      auto attr = co_await state_for(from).dfs_client->getattr(path, parent);
       if (!attr) co_return fs::fail(attr.error());
       if (attr->is_dir()) co_return fs::fail(FsError::is_a_directory);
       CachedMeta marked;
       marked.attr = *attr;
       marked.removed = true;
       const auto added =
-          co_await cache_->add(from, path.str(), encode_meta(marked), 0, path.hash());
+          co_await cache_->add(from, path.str(), encode_meta(marked), 0, path.hash(), parent);
       if (added.status != kv::KvStatus::ok) continue;  // raced (or shard lost); retry
       break;
     }
@@ -348,8 +397,8 @@ sim::Task<FsResult<void>> ConsistentRegion::remove(net::NodeId from, std::uint32
     if (meta->removed) co_return fs::fail(FsError::not_found);
     if (meta->attr.is_dir()) co_return fs::fail(FsError::is_a_directory);
     meta->removed = true;
-    const auto swapped =
-        co_await cache_->cas(from, path.str(), encode_meta(*meta), cur.cas, 0, path.hash());
+    const auto swapped = co_await cache_->cas(from, path.str(), encode_meta(*meta), cur.cas, 0,
+                                              path.hash(), parent);
     if (swapped.status == kv::KvStatus::ok) break;
     // cas_mismatch or concurrent delete: retry the whole read-modify-write.
   }
@@ -361,18 +410,20 @@ sim::Task<FsResult<void>> ConsistentRegion::remove(net::NodeId from, std::uint32
   op.creds = config_.creds;
   if (config_.async_commit) {
     co_await sim_.delay(config_.queue_publish_cpu);
-    publish(client, op);
+    publish(client, op, parent);
     co_return FsResult<void>{};
   }
-  auto done = co_await state_for(from).dfs_client->unlink(path);
-  (void)co_await cache_->del(from, path.str(), path.hash());
+  auto done = co_await state_for(from).dfs_client->unlink(path, parent);
+  (void)co_await cache_->del(from, path.str(), path.hash(), parent);
   if (!done) co_return fs::fail(done.error());
   co_return FsResult<void>{};
 }
 
 // ---- Dependent operations: rmdir / readdir ------------------------------------
 
-sim::Task<ConsistentRegion::BarrierResult> ConsistentRegion::run_barrier(net::NodeId from) {
+sim::Task<ConsistentRegion::BarrierResult> ConsistentRegion::run_barrier(net::NodeId from,
+                                                                         obs::SpanId parent) {
+  obs::Span span(parent != obs::kNoSpan ? sim_.tracer() : nullptr, "barrier", parent, from.value);
   co_await barrier_mutex_.lock();
   const std::uint64_t e = epochs_.current_epoch();
   // Only live nodes with a running commit process that actually host clients
@@ -386,6 +437,7 @@ sim::Task<ConsistentRegion::BarrierResult> ConsistentRegion::run_barrier(net::No
   epochs_.set_node_count(participating);
   if (participating == 0) {
     ++barriers_run_;
+    span.finish("drained");
     co_return BarrierResult{e, true};
   }
   // Broadcast: every client pushes a barrier message and enters epoch e+1.
@@ -408,17 +460,18 @@ sim::Task<ConsistentRegion::BarrierResult> ConsistentRegion::run_barrier(net::No
   sim_.trace_note_lazy([&] {
     return (ok ? "barrier-drained epoch=" : "barrier-aborted epoch=") + std::to_string(e);
   });
+  span.finish(ok ? "drained" : "aborted");
   co_return BarrierResult{e, ok};
 }
 
 sim::Task<FsResult<void>> ConsistentRegion::rmdir(net::NodeId from, std::uint32_t client,
-                                                  const fs::Path& path) {
+                                                  const fs::Path& path, obs::SpanId parent) {
   (void)client;
-  auto perm = co_await check_permission(from, path.parent(), fs::Access::write);
+  auto perm = co_await check_permission(from, path.parent(), fs::Access::write, parent);
   if (!perm) co_return perm;
 
   for (std::size_t attempt = 0;; ++attempt) {
-    const BarrierResult barrier = co_await run_barrier(from);
+    const BarrierResult barrier = co_await run_barrier(from, parent);
     if (!barrier.ok) {
       // A participant's commit process crashed mid-epoch. Close the epoch
       // (its surviving ops redeliver from the WAL after restart) and replay
@@ -432,7 +485,8 @@ sim::Task<FsResult<void>> ConsistentRegion::rmdir(net::NodeId from, std::uint32_
     FsResult<void> result = fs::fail(FsError::io);
     bool transient = false;
     try {
-      result = co_await state_for(from).dfs_client->rmdir(path);  // sync commit (Table I)
+      // sync commit (Table I)
+      result = co_await state_for(from).dfs_client->rmdir(path, parent);
     } catch (const net::RpcError&) {
       // Transport failure (MDS down / message lost): keep the epoch/mutex
       // bookkeeping intact and replay the barrier + rmdir after a delay.
@@ -462,16 +516,15 @@ sim::Task<FsResult<void>> ConsistentRegion::rmdir(net::NodeId from, std::uint32_
   }
 }
 
-sim::Task<FsResult<std::vector<fs::DirEntry>>> ConsistentRegion::readdir(net::NodeId from,
-                                                                         std::uint32_t client,
-                                                                         const fs::Path& path) {
+sim::Task<FsResult<std::vector<fs::DirEntry>>> ConsistentRegion::readdir(
+    net::NodeId from, std::uint32_t client, const fs::Path& path, obs::SpanId parent) {
   (void)client;
-  auto perm = co_await check_permission(from, path, fs::Access::read);
+  auto perm = co_await check_permission(from, path, fs::Access::read, parent);
   if (!perm) co_return fs::fail(perm.error());
   // Barrier, then delegate to the DFS: avoids a full cache-table scan and is
   // correct because all earlier operations have been committed (Table I).
   for (std::size_t attempt = 0;; ++attempt) {
-    const BarrierResult barrier = co_await run_barrier(from);
+    const BarrierResult barrier = co_await run_barrier(from, parent);
     if (!barrier.ok) {
       epochs_.complete_epoch(barrier.epoch);
       barrier_mutex_.unlock();
@@ -482,7 +535,7 @@ sim::Task<FsResult<std::vector<fs::DirEntry>>> ConsistentRegion::readdir(net::No
     FsResult<std::vector<fs::DirEntry>> entries = fs::fail(FsError::io);
     bool transient = false;
     try {
-      entries = co_await state_for(from).dfs_client->readdir(path);
+      entries = co_await state_for(from).dfs_client->readdir(path, parent);
     } catch (const net::RpcError&) {
       transient = true;
     }
@@ -503,24 +556,25 @@ sim::Task<FsResult<std::uint64_t>> ConsistentRegion::write(net::NodeId from,
                                                            std::uint32_t client,
                                                            const fs::Path& path,
                                                            std::uint64_t offset,
-                                                           std::uint64_t length) {
-  auto perm = co_await check_permission(from, path, fs::Access::write);
+                                                           std::uint64_t length,
+                                                           obs::SpanId parent) {
+  auto perm = co_await check_permission(from, path, fs::Access::write, parent);
   if (!perm) co_return fs::fail(perm.error());
   dfs::DfsClient& io = *state_for(from).dfs_client;
 
   for (;;) {
-    const auto cur = co_await cache_->get(from, path.str(), path.hash());
+    const auto cur = co_await cache_->get(from, path.str(), path.hash(), parent);
     if (cur.status == kv::KvStatus::unreachable) {
       // Degraded pass-through: write through to the DFS directly; no cached
       // copy exists to keep coherent while the shard is down.
-      ++degraded_ops_;
-      auto wrote = co_await io.write(path, offset, length);
+      note_degraded(parent);
+      auto wrote = co_await io.write(path, offset, length, parent);
       if (!wrote) co_return fs::fail(wrote.error());
       co_return length;
     }
     if (cur.status == kv::KvStatus::not_found) {
       // Unknown in cache: fall back to the DFS (load like getattr would).
-      auto attr = co_await getattr(from, path);
+      auto attr = co_await getattr(from, path, parent);
       if (!attr) co_return fs::fail(attr.error());
       continue;
     }
@@ -540,19 +594,19 @@ sim::Task<FsResult<std::uint64_t>> ConsistentRegion::write(net::NodeId from,
         meta->inline_bytes = 0;
         meta->attr.size = new_size;
         meta->attr.mtime = sim_.now();
-        const auto swapped =
-            co_await cache_->cas(from, path.str(), encode_meta(*meta), cur.cas, 0, path.hash());
+        const auto swapped = co_await cache_->cas(from, path.str(), encode_meta(*meta), cur.cas,
+                                                  0, path.hash(), parent);
         if (swapped.status != kv::KvStatus::ok) continue;  // raced: retry
       }
       for (;;) {
         if (spill > 0) {
-          auto spilled = co_await io.write(path, 0, spill);
+          auto spilled = co_await io.write(path, 0, spill, parent);
           if (!spilled && spilled.error() == FsError::not_found) {
             co_await sim_.delay(config_.commit_retry_delay);
             continue;
           }
         }
-        auto wrote = co_await io.write(path, offset, length);
+        auto wrote = co_await io.write(path, offset, length, parent);
         if (wrote) break;
         if (wrote.error() != FsError::not_found) co_return fs::fail(wrote.error());
         co_await sim_.delay(config_.commit_retry_delay);  // create not committed yet
@@ -565,8 +619,8 @@ sim::Task<FsResult<std::uint64_t>> ConsistentRegion::write(net::NodeId from,
     meta->inline_bytes = std::max(meta->inline_bytes, offset + length);
     meta->attr.size = new_size;
     meta->attr.mtime = sim_.now();
-    const auto swapped =
-        co_await cache_->cas(from, path.str(), encode_meta(*meta), cur.cas, 0, path.hash());
+    const auto swapped = co_await cache_->cas(from, path.str(), encode_meta(*meta), cur.cas, 0,
+                                              path.hash(), parent);
     if (swapped.status != kv::KvStatus::ok) continue;  // conflict: re-execute
     OpMessage op;
     op.kind = OpMessage::Kind::write_data;
@@ -575,9 +629,9 @@ sim::Task<FsResult<std::uint64_t>> ConsistentRegion::write(net::NodeId from,
     op.creds = config_.creds;
     if (config_.async_commit) {
       co_await sim_.delay(config_.queue_publish_cpu);
-      publish(client, op);
+      publish(client, op, parent);
     } else {
-      auto wrote = co_await io.write(path, 0, new_size);
+      auto wrote = co_await io.write(path, 0, new_size, parent);
       if (!wrote) co_return fs::fail(wrote.error());
     }
     co_return length;
@@ -586,26 +640,28 @@ sim::Task<FsResult<std::uint64_t>> ConsistentRegion::write(net::NodeId from,
 
 sim::Task<FsResult<std::uint64_t>> ConsistentRegion::read(net::NodeId from, const fs::Path& path,
                                                           std::uint64_t offset,
-                                                          std::uint64_t length) {
-  auto perm = co_await check_permission(from, path, fs::Access::read);
+                                                          std::uint64_t length,
+                                                          obs::SpanId parent) {
+  auto perm = co_await check_permission(from, path, fs::Access::read, parent);
   if (!perm) co_return fs::fail(perm.error());
-  auto meta = co_await cache_get(from, path);
+  auto meta = co_await cache_get(from, path, parent);
   if (meta && !meta->removed && !meta->large_file) {
     // Single KV request served both metadata and data (Section III.D.2).
     if (offset >= meta->inline_bytes) co_return 0;
     co_return std::min(length, meta->inline_bytes - offset);
   }
   if (meta && meta->removed) co_return fs::fail(FsError::not_found);
-  co_return co_await state_for(from).dfs_client->read(path, offset, length);
+  co_return co_await state_for(from).dfs_client->read(path, offset, length, parent);
 }
 
-sim::Task<FsResult<void>> ConsistentRegion::fsync(net::NodeId from, const fs::Path& path) {
-  const auto cur = co_await cache_->get(from, path.str(), path.hash());
+sim::Task<FsResult<void>> ConsistentRegion::fsync(net::NodeId from, const fs::Path& path,
+                                                  obs::SpanId parent) {
+  const auto cur = co_await cache_->get(from, path.str(), path.hash(), parent);
   NodeState& state = state_for(from);
   if (cur.status == kv::KvStatus::unreachable) {
     // Degraded pass-through: delegate durability to the DFS.
-    ++degraded_ops_;
-    co_return co_await state.dfs_client->fsync(path);
+    note_degraded(parent);
+    co_return co_await state.dfs_client->fsync(path, parent);
   }
   std::optional<CachedMeta> meta;
   if (cur.status == kv::KvStatus::ok) meta = decode_meta(cur.value);
@@ -617,7 +673,7 @@ sim::Task<FsResult<void>> ConsistentRegion::fsync(net::NodeId from, const fs::Pa
     co_await state.spill_disk->write(std::max<std::uint64_t>(meta->inline_bytes, 512));
     co_return FsResult<void>{};
   }
-  co_return co_await state.dfs_client->fsync(path);
+  co_return co_await state.dfs_client->fsync(path, parent);
 }
 
 // ---- Commit machinery ------------------------------------------------------------
@@ -658,10 +714,17 @@ sim::Task<> ConsistentRegion::committer_loop(NodeState& node) {
   for (OpMessage replay : node.wal->unacked()) {
     if (node.commit_generation != generation) co_return;
     ++redelivered_ops_;
+    redelivered_ctr_.add();
     sim_.trace_note_lazy([&] {
       return "redeliver op=" + std::to_string(replay.op_id) + " path=" + replay.path;
     });
-    const bool applied = co_await apply_and_account(node, replay, generation);
+    // The replayed apply nests under a "wal.replay" span which itself hangs
+    // off the op's original (still-open) commit span, so a trace shows the
+    // crash-and-redeliver detour inside the one logical operation.
+    obs::Span replay_span(replay.span != obs::kNoSpan ? sim_.tracer() : nullptr, "wal.replay",
+                          replay.span, node.node.value);
+    const bool applied = co_await apply_and_account(node, replay, generation, replay_span.id());
+    replay_span.finish(applied ? "ok" : "requeued");
     if (node.commit_generation != generation) co_return;
     if (!applied) {
       ++node.retrying;
@@ -703,6 +766,10 @@ sim::Task<> ConsistentRegion::retry_loop(NodeState& node) {
     if (node.commit_generation != generation) co_return;
     for (std::size_t attempt = 0;; ++attempt) {
       ++commit_retries_;
+      retries_ctr_.add();
+      if (obs::Tracer* tracer = sim_.tracer(); tracer != nullptr && msg->span != obs::kNoSpan) {
+        tracer->event(msg->span, "commit_retry", "attempt=" + std::to_string(attempt + 1));
+      }
       co_await sim_.delay(config_.commit_retry.backoff(attempt, rng_));
       if (node.commit_generation != generation) co_return;
       const bool applied = co_await apply_and_account(node, *msg, generation);
@@ -714,41 +781,57 @@ sim::Task<> ConsistentRegion::retry_loop(NodeState& node) {
 }
 
 sim::Task<bool> ConsistentRegion::apply_and_account(NodeState& node, const OpMessage& msg,
-                                                    std::uint64_t generation) {
+                                                    std::uint64_t generation,
+                                                    obs::SpanId span_override) {
+  obs::Tracer* const tracer = sim_.tracer();
   if (node.wal->acked(msg.op_id)) {
     // Idempotency-id dedup: a redelivered copy of an op that already reached
     // the DFS. Applied exactly once overall; nothing left to account.
     ++duplicate_deliveries_;
+    if (tracer != nullptr && msg.span != obs::kNoSpan) tracer->end_span(msg.span, "committed");
     co_return true;
   }
   if (!node.alive) {
     // Dead node: the op is lost (restore() repairs); account it out.
     node.wal->ack(msg.op_id);
     pending_decrement(msg.path);
+    if (tracer != nullptr && msg.span != obs::kNoSpan) tracer->end_span(msg.span, "discarded");
     co_return true;
   }
   FsError status = FsError::io;
-  try {
-    status = co_await apply_once(node, msg);
-  } catch (const net::RpcError&) {
-    status = FsError::io;  // node or fabric failure mid-commit
+  {
+    // The DFS apply is a child of the commit span -- unless this is a WAL
+    // redelivery, whose "wal.replay" span takes over as the parent.
+    const obs::SpanId apply_parent = span_override != obs::kNoSpan ? span_override : msg.span;
+    obs::Span apply_span(apply_parent != obs::kNoSpan ? tracer : nullptr, "dfs.apply",
+                         apply_parent, node.node.value);
+    try {
+      status = co_await apply_once(node, msg, apply_span.id());
+    } catch (const net::RpcError&) {
+      status = FsError::io;  // node or fabric failure mid-commit
+    }
+    apply_span.finish(status == FsError::ok || status == FsError::exists ? "ok" : "error");
   }
   if (node.commit_generation != generation) {
     // Crashed mid-apply: whatever the DFS did is not acknowledged, so the op
     // redelivers on restart -- the at-least-once window idempotent replay
     // absorbs. Report success so the (dead) caller does not re-park it.
+    // The commit span stays open; the redelivered copy closes it.
     co_return true;
   }
   if (!node.alive) {
     node.wal->ack(msg.op_id);
     pending_decrement(msg.path);
+    if (tracer != nullptr && msg.span != obs::kNoSpan) tracer->end_span(msg.span, "discarded");
     co_return true;
   }
   if (status == FsError::ok || status == FsError::exists) {
     // exists = an idempotent replay (e.g. recovery re-commit); accept.
     ++committed_ops_;
+    committed_ctr_.add();
     node.wal->ack(msg.op_id);
     pending_decrement(msg.path);
+    if (tracer != nullptr && msg.span != obs::kNoSpan) tracer->end_span(msg.span, "committed");
     sim_.trace_note_lazy([&] {
       return "commit op=" + std::to_string(msg.op_id) + " kind=" + to_string(msg.kind) +
              " path=" + msg.path + " node=" + std::to_string(node.node.value);
@@ -761,33 +844,34 @@ sim::Task<bool> ConsistentRegion::apply_and_account(NodeState& node, const OpMes
   co_return false;
 }
 
-sim::Task<FsError> ConsistentRegion::apply_once(NodeState& node, const OpMessage& msg) {
+sim::Task<FsError> ConsistentRegion::apply_once(NodeState& node, const OpMessage& msg,
+                                                obs::SpanId span) {
   dfs::DfsClient& io = *node.dfs_client;
   const fs::Path path = fs::Path::parse(msg.path);
   switch (msg.kind) {
     case OpMessage::Kind::mkdir: {
-      auto r = co_await io.mkdir(path, msg.mode);
+      auto r = co_await io.mkdir(path, msg.mode, span);
       co_return r ? FsError::ok : r.error();
     }
     case OpMessage::Kind::create: {
-      auto r = co_await io.create(path, msg.mode);
+      auto r = co_await io.create(path, msg.mode, span);
       co_return r ? FsError::ok : r.error();
     }
     case OpMessage::Kind::remove: {
-      auto r = co_await io.unlink(path);
+      auto r = co_await io.unlink(path, span);
       if (r || r.error() == FsError::not_found) {
         // Applied (or already gone): drop the marked cache entry now.
-        (void)co_await cache_->del(node.node, msg.path, path.hash());
+        (void)co_await cache_->del(node.node, msg.path, path.hash(), span);
         co_return FsError::ok;
       }
       co_return r.error();
     }
     case OpMessage::Kind::write_data: {
-      auto r = co_await io.write(path, 0, msg.size);
+      auto r = co_await io.write(path, 0, msg.size, span);
       if (!r && r.error() == FsError::not_found) {
         // Either the create has not committed yet (retry) or another node's
         // remove already won (drop: a removed file's backup needs no data).
-        auto meta = co_await cache_get(node.node, path);
+        auto meta = co_await cache_get(node.node, path, span);
         if (!meta || meta->removed) co_return FsError::ok;
         co_return FsError::not_found;
       }
@@ -878,7 +962,12 @@ sim::Task<FsResult<void>> ConsistentRegion::recover_from_node_failure(net::NodeI
   co_return co_await restore(last_checkpoint_id_);
 }
 
-void ConsistentRegion::node_recovered(net::NodeId node) { cache_->server_recovered(node); }
+void ConsistentRegion::node_recovered(net::NodeId node) {
+  cache_->server_recovered(node);
+  // Conservative latch reset: a rejoined cache node ends the degraded
+  // window (new ops route to live servers again).
+  degraded_gauge_.set(0);
+}
 
 void ConsistentRegion::crash_commit_process(net::NodeId node_id) {
   NodeState& node = state_for(node_id);

@@ -36,7 +36,9 @@
 #include "kv/memcache.h"
 #include "net/pubsub.h"
 #include "net/retry.h"
+#include "obs/span_id.h"
 #include "sim/disk.h"
+#include "sim/metrics.h"
 #include "sim/random.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
@@ -128,32 +130,45 @@ class ConsistentRegion {
   std::uint32_t register_client(net::NodeId node);
 
   // ---- Metadata operations (invoked by Pacon clients) -------------------
+  //
+  // The trailing `parent` on every op is the caller's tracing context
+  // (obs/trace.h): traced ops hang their cache lookups, commit-queue spans
+  // and DFS round trips under it; untraced callers pay nothing.
 
   /// `parent_known` skips the parent-existence probe (the caller recently
   /// confirmed the parent; see Pacon's hint cache and Section III.C).
   sim::Task<fs::FsResult<void>> mkdir(net::NodeId from, std::uint32_t client,
                                       const fs::Path& path, fs::FileMode mode,
-                                      bool parent_known = false);
+                                      bool parent_known = false,
+                                      obs::SpanId parent = obs::kNoSpan);
   sim::Task<fs::FsResult<void>> create(net::NodeId from, std::uint32_t client,
                                        const fs::Path& path, fs::FileMode mode,
-                                       bool parent_known = false);
-  sim::Task<fs::FsResult<fs::InodeAttr>> getattr(net::NodeId from, const fs::Path& path);
+                                       bool parent_known = false,
+                                       obs::SpanId parent = obs::kNoSpan);
+  sim::Task<fs::FsResult<fs::InodeAttr>> getattr(net::NodeId from, const fs::Path& path,
+                                                 obs::SpanId parent = obs::kNoSpan);
   sim::Task<fs::FsResult<void>> remove(net::NodeId from, std::uint32_t client,
-                                       const fs::Path& path);
+                                       const fs::Path& path,
+                                       obs::SpanId parent = obs::kNoSpan);
   sim::Task<fs::FsResult<void>> rmdir(net::NodeId from, std::uint32_t client,
-                                      const fs::Path& path);
+                                      const fs::Path& path,
+                                      obs::SpanId parent = obs::kNoSpan);
   sim::Task<fs::FsResult<std::vector<fs::DirEntry>>> readdir(net::NodeId from,
                                                              std::uint32_t client,
-                                                             const fs::Path& path);
+                                                             const fs::Path& path,
+                                                             obs::SpanId parent = obs::kNoSpan);
 
   // ---- File data operations ---------------------------------------------
 
   sim::Task<fs::FsResult<std::uint64_t>> write(net::NodeId from, std::uint32_t client,
                                                const fs::Path& path, std::uint64_t offset,
-                                               std::uint64_t length);
+                                               std::uint64_t length,
+                                               obs::SpanId parent = obs::kNoSpan);
   sim::Task<fs::FsResult<std::uint64_t>> read(net::NodeId from, const fs::Path& path,
-                                              std::uint64_t offset, std::uint64_t length);
-  sim::Task<fs::FsResult<void>> fsync(net::NodeId from, const fs::Path& path);
+                                              std::uint64_t offset, std::uint64_t length,
+                                              obs::SpanId parent = obs::kNoSpan);
+  sim::Task<fs::FsResult<void>> fsync(net::NodeId from, const fs::Path& path,
+                                      obs::SpanId parent = obs::kNoSpan);
 
   // ---- Region management --------------------------------------------------
 
@@ -265,19 +280,31 @@ class ConsistentRegion {
 
   /// Permission check dispatch: batch (local) or hierarchical (ablation).
   sim::Task<fs::FsResult<void>> check_permission(net::NodeId from, const fs::Path& path,
-                                                 fs::Access access);
-  sim::Task<fs::FsResult<void>> check_parent(net::NodeId from, const fs::Path& path);
+                                                 fs::Access access,
+                                                 obs::SpanId span = obs::kNoSpan);
+  sim::Task<fs::FsResult<void>> check_parent(net::NodeId from, const fs::Path& path,
+                                             obs::SpanId span = obs::kNoSpan);
 
   /// Inserts a new entry and publishes its commit message.
   sim::Task<fs::FsResult<void>> create_common(net::NodeId from, std::uint32_t client,
                                               const fs::Path& path, fs::FileMode mode,
-                                              fs::FileType type, bool parent_known);
+                                              fs::FileType type, bool parent_known,
+                                              obs::SpanId parent);
 
   /// Cache entry fetch decoding the removed-marker; the path's cached hash
   /// rides along so the cluster router and server skip rehashing the key.
-  sim::Task<std::optional<CachedMeta>> cache_get(net::NodeId from, const fs::Path& path);
+  sim::Task<std::optional<CachedMeta>> cache_get(net::NodeId from, const fs::Path& path,
+                                                 obs::SpanId span = obs::kNoSpan);
 
-  void publish(std::uint32_t client, OpMessage msg);
+  /// Publishes `msg` on `client`'s node queue. A traced caller (`parent`)
+  /// gets a "commit" span opened here and carried inside the message; it
+  /// stays open across the pub/sub hop (and any WAL redelivery) until
+  /// apply_and_account closes it with the op's fate.
+  void publish(std::uint32_t client, OpMessage msg, obs::SpanId parent = obs::kNoSpan);
+
+  /// Degraded pass-through bookkeeping: counter + latch gauge + a tagged
+  /// event on the traced caller's span.
+  void note_degraded(obs::SpanId span);
 
   struct BarrierResult {
     std::uint64_t epoch = 0;
@@ -289,7 +316,7 @@ class ConsistentRegion {
 
   /// Runs one barrier: all clients emit barrier messages; waits until every
   /// commit process drained the epoch (or the epoch aborts).
-  sim::Task<BarrierResult> run_barrier(net::NodeId from);
+  sim::Task<BarrierResult> run_barrier(net::NodeId from, obs::SpanId parent = obs::kNoSpan);
 
   sim::Task<> sorter_loop(NodeState& node);
   sim::Task<> committer_loop(NodeState& node);
@@ -297,10 +324,14 @@ class ConsistentRegion {
   /// One commit attempt incl. bookkeeping; false = needs resubmission.
   /// `generation` is the commit-process incarnation the caller belongs to: a
   /// crash mid-apply means the result is neither acked nor accounted (the op
-  /// redelivers -- the at-least-once window).
+  /// redelivers -- the at-least-once window). `span_override` re-parents the
+  /// "dfs.apply" child span (WAL redelivery hangs the replayed apply under
+  /// its "wal.replay" span instead of directly under the commit span).
   sim::Task<bool> apply_and_account(NodeState& node, const OpMessage& msg,
-                                    std::uint64_t generation);
-  sim::Task<fs::FsError> apply_once(NodeState& node, const OpMessage& msg);
+                                    std::uint64_t generation,
+                                    obs::SpanId span_override = obs::kNoSpan);
+  sim::Task<fs::FsError> apply_once(NodeState& node, const OpMessage& msg,
+                                    obs::SpanId span = obs::kNoSpan);
 
   NodeState& state_for(net::NodeId node);
   fs::Path checkpoint_path(std::uint64_t id) const;
@@ -361,6 +392,16 @@ class ConsistentRegion {
   std::uint64_t redelivered_ops_ = 0;
   std::uint64_t duplicate_deliveries_ = 0;
   std::uint64_t degraded_ops_ = 0;
+
+  // Scoped metric handles under "region.<root>" (see DESIGN.md section 11),
+  // resolved once at construction: registry lookups are string-keyed map
+  // walks, too slow for the per-op paths that update these.
+  sim::Gauge& queue_depth_gauge_;   // commit_queue_depth: queued-not-committed ops
+  sim::Gauge& degraded_gauge_;      // degraded_latch: 1 after any pass-through op
+  sim::Counter& committed_ctr_;
+  sim::Counter& retries_ctr_;
+  sim::Counter& redelivered_ctr_;
+  sim::Counter& degraded_ctr_;
 };
 
 }  // namespace pacon::core

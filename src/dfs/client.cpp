@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "sim/combinators.h"
 
 namespace pacon::dfs {
@@ -13,10 +14,10 @@ DfsClient::DfsClient(sim::Simulation& sim, DfsCluster& cluster, net::NodeId node
                      DfsClientConfig config)
     : sim_(sim), cluster_(cluster), node_(node), config_(config) {}
 
-sim::Task<MetaResponse> DfsClient::meta_call(MetaRequest req) {
+sim::Task<MetaResponse> DfsClient::meta_call(MetaRequest req, obs::SpanId span) {
   ++meta_rpcs_;
   if (req.op == MetaOp::lookup) ++lookup_rpcs_;
-  return cluster_.mds().call(node_, std::move(req));
+  return cluster_.mds().call(node_, std::move(req), span);
 }
 
 const fs::InodeAttr* DfsClient::cache_find(const std::string& path) {
@@ -61,7 +62,8 @@ void DfsClient::invalidate_cache() {
   dentry_lru_.clear();
 }
 
-sim::Task<FsResult<fs::InodeAttr>> DfsClient::resolve(const fs::Path& path, bool fresh_leaf) {
+sim::Task<FsResult<fs::InodeAttr>> DfsClient::resolve(const fs::Path& path, bool fresh_leaf,
+                                                      obs::SpanId span) {
   fs::InodeAttr current;
   current.ino = fs::kRootIno;
   current.type = fs::FileType::directory;
@@ -96,7 +98,7 @@ sim::Task<FsResult<fs::InodeAttr>> DfsClient::resolve(const fs::Path& path, bool
     req.parent = current.ino;
     req.name = std::string(comps[i]);
     req.creds = config_.creds;
-    const MetaResponse resp = co_await meta_call(std::move(req));
+    const MetaResponse resp = co_await meta_call(std::move(req), span);
     if (resp.status != FsError::ok) co_return fs::fail(resp.status);
     current = resp.attr;
     walked = walked.child(comps[i]);
@@ -105,16 +107,19 @@ sim::Task<FsResult<fs::InodeAttr>> DfsClient::resolve(const fs::Path& path, bool
   co_return current;
 }
 
-sim::Task<FsResult<fs::InodeAttr>> DfsClient::resolve_dir(const fs::Path& path) {
-  auto attr = co_await resolve(path);
+sim::Task<FsResult<fs::InodeAttr>> DfsClient::resolve_dir(const fs::Path& path,
+                                                          obs::SpanId span) {
+  auto attr = co_await resolve(path, /*fresh_leaf=*/false, span);
   if (!attr) co_return attr;
   if (!attr->is_dir()) co_return fs::fail(FsError::not_a_directory);
   co_return attr;
 }
 
-sim::Task<FsResult<fs::InodeAttr>> DfsClient::mkdir(const fs::Path& path, fs::FileMode mode) {
+sim::Task<FsResult<fs::InodeAttr>> DfsClient::mkdir(const fs::Path& path, fs::FileMode mode,
+                                                    obs::SpanId span) {
   if (!path.valid() || path.is_root()) co_return fs::fail(FsError::invalid);
-  auto parent = co_await resolve_dir(path.parent());
+  obs::Span op(span != obs::kNoSpan ? sim_.tracer() : nullptr, "dfs.mkdir", span, node_.value);
+  auto parent = co_await resolve_dir(path.parent(), op.id());
   if (!parent) co_return fs::fail(parent.error());
   MetaRequest req;
   req.op = MetaOp::create;
@@ -123,15 +128,18 @@ sim::Task<FsResult<fs::InodeAttr>> DfsClient::mkdir(const fs::Path& path, fs::Fi
   req.type = fs::FileType::directory;
   req.mode = mode;
   req.creds = config_.creds;
-  const MetaResponse resp = co_await meta_call(std::move(req));
+  const MetaResponse resp = co_await meta_call(std::move(req), op.id());
   if (resp.status != FsError::ok) co_return fs::fail(resp.status);
   cache_insert(path.str(), resp.attr);
+  op.finish("ok");
   co_return resp.attr;
 }
 
-sim::Task<FsResult<fs::InodeAttr>> DfsClient::create(const fs::Path& path, fs::FileMode mode) {
+sim::Task<FsResult<fs::InodeAttr>> DfsClient::create(const fs::Path& path, fs::FileMode mode,
+                                                     obs::SpanId span) {
   if (!path.valid() || path.is_root()) co_return fs::fail(FsError::invalid);
-  auto parent = co_await resolve_dir(path.parent());
+  obs::Span op(span != obs::kNoSpan ? sim_.tracer() : nullptr, "dfs.create", span, node_.value);
+  auto parent = co_await resolve_dir(path.parent(), op.id());
   if (!parent) co_return fs::fail(parent.error());
   MetaRequest req;
   req.op = MetaOp::create;
@@ -140,62 +148,72 @@ sim::Task<FsResult<fs::InodeAttr>> DfsClient::create(const fs::Path& path, fs::F
   req.type = fs::FileType::file;
   req.mode = mode;
   req.creds = config_.creds;
-  const MetaResponse resp = co_await meta_call(std::move(req));
+  const MetaResponse resp = co_await meta_call(std::move(req), op.id());
   if (resp.status != FsError::ok) co_return fs::fail(resp.status);
   cache_insert(path.str(), resp.attr);
+  op.finish("ok");
   co_return resp.attr;
 }
 
-sim::Task<FsResult<fs::InodeAttr>> DfsClient::getattr(const fs::Path& path) {
+sim::Task<FsResult<fs::InodeAttr>> DfsClient::getattr(const fs::Path& path, obs::SpanId span) {
   if (!path.valid()) co_return fs::fail(FsError::invalid);
-  co_return co_await resolve(path, /*fresh_leaf=*/true);
+  obs::Span op(span != obs::kNoSpan ? sim_.tracer() : nullptr, "dfs.getattr", span, node_.value);
+  co_return co_await resolve(path, /*fresh_leaf=*/true, op.id());
 }
 
-sim::Task<FsResult<void>> DfsClient::unlink(const fs::Path& path) {
+sim::Task<FsResult<void>> DfsClient::unlink(const fs::Path& path, obs::SpanId span) {
   if (!path.valid() || path.is_root()) co_return fs::fail(FsError::invalid);
-  auto parent = co_await resolve_dir(path.parent());
+  obs::Span op(span != obs::kNoSpan ? sim_.tracer() : nullptr, "dfs.unlink", span, node_.value);
+  auto parent = co_await resolve_dir(path.parent(), op.id());
   if (!parent) co_return fs::fail(parent.error());
   MetaRequest req;
   req.op = MetaOp::unlink;
   req.parent = parent->ino;
   req.name = std::string(path.name());
   req.creds = config_.creds;
-  const MetaResponse resp = co_await meta_call(std::move(req));
+  const MetaResponse resp = co_await meta_call(std::move(req), op.id());
   if (resp.status != FsError::ok) co_return fs::fail(resp.status);
   cache_erase(path.str());
+  op.finish("ok");
   co_return FsResult<void>{};
 }
 
-sim::Task<FsResult<void>> DfsClient::rmdir(const fs::Path& path) {
+sim::Task<FsResult<void>> DfsClient::rmdir(const fs::Path& path, obs::SpanId span) {
   if (!path.valid() || path.is_root()) co_return fs::fail(FsError::invalid);
-  auto parent = co_await resolve_dir(path.parent());
+  obs::Span op(span != obs::kNoSpan ? sim_.tracer() : nullptr, "dfs.rmdir", span, node_.value);
+  auto parent = co_await resolve_dir(path.parent(), op.id());
   if (!parent) co_return fs::fail(parent.error());
   MetaRequest req;
   req.op = MetaOp::rmdir;
   req.parent = parent->ino;
   req.name = std::string(path.name());
   req.creds = config_.creds;
-  const MetaResponse resp = co_await meta_call(std::move(req));
+  const MetaResponse resp = co_await meta_call(std::move(req), op.id());
   if (resp.status != FsError::ok) co_return fs::fail(resp.status);
   cache_erase(path.str());
+  op.finish("ok");
   co_return FsResult<void>{};
 }
 
-sim::Task<FsResult<std::vector<fs::DirEntry>>> DfsClient::readdir(const fs::Path& path) {
-  auto dir = co_await resolve_dir(path);
+sim::Task<FsResult<std::vector<fs::DirEntry>>> DfsClient::readdir(const fs::Path& path,
+                                                                  obs::SpanId span) {
+  obs::Span op(span != obs::kNoSpan ? sim_.tracer() : nullptr, "dfs.readdir", span, node_.value);
+  auto dir = co_await resolve_dir(path, op.id());
   if (!dir) co_return fs::fail(dir.error());
   MetaRequest req;
   req.op = MetaOp::readdir;
   req.ino = dir->ino;
   req.creds = config_.creds;
-  MetaResponse resp = co_await meta_call(std::move(req));
+  MetaResponse resp = co_await meta_call(std::move(req), op.id());
   if (resp.status != FsError::ok) co_return fs::fail(resp.status);
+  op.finish("ok");
   co_return std::move(resp.entries);
 }
 
 sim::Task<FsResult<std::uint64_t>> DfsClient::write(const fs::Path& path, std::uint64_t offset,
-                                                    std::uint64_t length) {
-  auto attr = co_await resolve(path);
+                                                    std::uint64_t length, obs::SpanId span) {
+  obs::Span op(span != obs::kNoSpan ? sim_.tracer() : nullptr, "dfs.write", span, node_.value);
+  auto attr = co_await resolve(path, /*fresh_leaf=*/false, op.id());
   if (!attr) co_return fs::fail(attr.error());
   if (attr->is_dir()) co_return fs::fail(FsError::is_a_directory);
   const std::uint64_t chunk_bytes = cluster_.config().chunk_bytes;
@@ -214,7 +232,7 @@ sim::Task<FsResult<std::uint64_t>> DfsClient::write(const fs::Path& path, std::u
     req.offset_in_chunk = static_cast<std::uint32_t>(in_chunk);
     req.length = static_cast<std::uint32_t>(take);
     ++data_rpcs_;
-    transfers.push_back(cluster_.storage_for_chunk(chunk).call(node_, std::move(req)));
+    transfers.push_back(cluster_.storage_for_chunk(chunk).call(node_, std::move(req), op.id()));
     pos += take;
   }
   const auto responses = co_await sim::when_all_values(sim_, std::move(transfers));
@@ -229,15 +247,17 @@ sim::Task<FsResult<std::uint64_t>> DfsClient::write(const fs::Path& path, std::u
   size_req.ino = attr->ino;
   size_req.size = offset + length;
   size_req.creds = config_.creds;
-  const MetaResponse size_resp = co_await meta_call(std::move(size_req));
+  const MetaResponse size_resp = co_await meta_call(std::move(size_req), op.id());
   if (size_resp.status != FsError::ok) co_return fs::fail(size_resp.status);
   cache_insert(path.str(), size_resp.attr);
+  op.finish("ok");
   co_return written;
 }
 
 sim::Task<FsResult<std::uint64_t>> DfsClient::read(const fs::Path& path, std::uint64_t offset,
-                                                   std::uint64_t length) {
-  auto attr = co_await resolve(path);
+                                                   std::uint64_t length, obs::SpanId span) {
+  obs::Span op(span != obs::kNoSpan ? sim_.tracer() : nullptr, "dfs.read", span, node_.value);
+  auto attr = co_await resolve(path, /*fresh_leaf=*/false, op.id());
   if (!attr) co_return fs::fail(attr.error());
   if (attr->is_dir()) co_return fs::fail(FsError::is_a_directory);
   const std::uint64_t chunk_bytes = cluster_.config().chunk_bytes;
@@ -256,7 +276,7 @@ sim::Task<FsResult<std::uint64_t>> DfsClient::read(const fs::Path& path, std::ui
     req.offset_in_chunk = static_cast<std::uint32_t>(in_chunk);
     req.length = static_cast<std::uint32_t>(take);
     ++data_rpcs_;
-    transfers.push_back(cluster_.storage_for_chunk(chunk).call(node_, std::move(req)));
+    transfers.push_back(cluster_.storage_for_chunk(chunk).call(node_, std::move(req), op.id()));
     pos += take;
   }
   const auto responses = co_await sim::when_all_values(sim_, std::move(transfers));
@@ -265,18 +285,21 @@ sim::Task<FsResult<std::uint64_t>> DfsClient::read(const fs::Path& path, std::ui
     if (r.status != FsError::ok) co_return fs::fail(r.status);
     bytes += r.transferred;
   }
+  op.finish("ok");
   co_return bytes;
 }
 
-sim::Task<FsResult<void>> DfsClient::fsync(const fs::Path& path) {
-  auto attr = co_await resolve(path);
+sim::Task<FsResult<void>> DfsClient::fsync(const fs::Path& path, obs::SpanId span) {
+  obs::Span op(span != obs::kNoSpan ? sim_.tracer() : nullptr, "dfs.fsync", span, node_.value);
+  auto attr = co_await resolve(path, /*fresh_leaf=*/false, op.id());
   if (!attr) co_return fs::fail(attr.error());
   MetaRequest req;
   req.op = MetaOp::getattr;
   req.ino = attr->ino;
   req.creds = config_.creds;
-  const MetaResponse resp = co_await meta_call(std::move(req));
+  const MetaResponse resp = co_await meta_call(std::move(req), op.id());
   if (resp.status != FsError::ok) co_return fs::fail(resp.status);
+  op.finish("ok");
   co_return FsResult<void>{};
 }
 

@@ -19,6 +19,7 @@
 #include "fs/path.h"
 #include "fs/types.h"
 #include "net/fabric.h"
+#include "obs/span_id.h"
 #include "sim/simulation.h"
 
 namespace pacon::dfs {
@@ -41,23 +42,31 @@ class DfsClient {
   net::NodeId node() const { return node_; }
   const DfsClientConfig& config() const { return config_; }
 
-  // Metadata operations (all paths absolute & canonical).
-  sim::Task<fs::FsResult<fs::InodeAttr>> mkdir(const fs::Path& path, fs::FileMode mode);
-  sim::Task<fs::FsResult<fs::InodeAttr>> create(const fs::Path& path, fs::FileMode mode);
-  sim::Task<fs::FsResult<fs::InodeAttr>> getattr(const fs::Path& path);
-  sim::Task<fs::FsResult<void>> unlink(const fs::Path& path);
-  sim::Task<fs::FsResult<void>> rmdir(const fs::Path& path);
-  sim::Task<fs::FsResult<std::vector<fs::DirEntry>>> readdir(const fs::Path& path);
+  // Metadata operations (all paths absolute & canonical). The optional
+  // trailing `span` is the caller's tracing context: traced ops get a
+  // "dfs.<op>" child span covering resolution + the MDS round trips.
+  sim::Task<fs::FsResult<fs::InodeAttr>> mkdir(const fs::Path& path, fs::FileMode mode,
+                                               obs::SpanId span = obs::kNoSpan);
+  sim::Task<fs::FsResult<fs::InodeAttr>> create(const fs::Path& path, fs::FileMode mode,
+                                                obs::SpanId span = obs::kNoSpan);
+  sim::Task<fs::FsResult<fs::InodeAttr>> getattr(const fs::Path& path,
+                                                 obs::SpanId span = obs::kNoSpan);
+  sim::Task<fs::FsResult<void>> unlink(const fs::Path& path, obs::SpanId span = obs::kNoSpan);
+  sim::Task<fs::FsResult<void>> rmdir(const fs::Path& path, obs::SpanId span = obs::kNoSpan);
+  sim::Task<fs::FsResult<std::vector<fs::DirEntry>>> readdir(const fs::Path& path,
+                                                             obs::SpanId span = obs::kNoSpan);
 
   // Data operations; payloads are sizes (contents are not simulated).
   sim::Task<fs::FsResult<std::uint64_t>> write(const fs::Path& path, std::uint64_t offset,
-                                               std::uint64_t length);
+                                               std::uint64_t length,
+                                               obs::SpanId span = obs::kNoSpan);
   sim::Task<fs::FsResult<std::uint64_t>> read(const fs::Path& path, std::uint64_t offset,
-                                              std::uint64_t length);
+                                              std::uint64_t length,
+                                              obs::SpanId span = obs::kNoSpan);
   /// Durability barrier; our writes are write-through, so this only verifies
   /// the file still exists (one MDS round trip, as the real client fsync
   /// costs at least that).
-  sim::Task<fs::FsResult<void>> fsync(const fs::Path& path);
+  sim::Task<fs::FsResult<void>> fsync(const fs::Path& path, obs::SpanId span = obs::kNoSpan);
 
   /// Drops every cached dentry (tests and failure handling).
   void invalidate_cache();
@@ -78,11 +87,13 @@ class DfsClient {
   /// `fresh_leaf` forces the final component over the wire even when cached:
   /// stat must return current attributes, so only intermediate directories
   /// benefit from the dentry cache (matching the real client).
-  sim::Task<fs::FsResult<fs::InodeAttr>> resolve(const fs::Path& path, bool fresh_leaf = false);
+  sim::Task<fs::FsResult<fs::InodeAttr>> resolve(const fs::Path& path, bool fresh_leaf = false,
+                                                 obs::SpanId span = obs::kNoSpan);
   /// Resolve, requiring the result to be a directory.
-  sim::Task<fs::FsResult<fs::InodeAttr>> resolve_dir(const fs::Path& path);
+  sim::Task<fs::FsResult<fs::InodeAttr>> resolve_dir(const fs::Path& path,
+                                                     obs::SpanId span = obs::kNoSpan);
 
-  sim::Task<MetaResponse> meta_call(MetaRequest req);
+  sim::Task<MetaResponse> meta_call(MetaRequest req, obs::SpanId span = obs::kNoSpan);
 
   const fs::InodeAttr* cache_find(const std::string& path);
   void cache_insert(const std::string& path, const fs::InodeAttr& attr);

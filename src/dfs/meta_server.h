@@ -52,8 +52,9 @@ class MetaServer {
 
   net::NodeId node() const { return node_; }
 
-  sim::Task<MetaResponse> call(net::NodeId from, MetaRequest req) {
-    return rpc_->call(from, std::move(req));
+  sim::Task<MetaResponse> call(net::NodeId from, MetaRequest req,
+                               obs::SpanId parent = obs::kNoSpan) {
+    return rpc_->call(from, std::move(req), parent);
   }
 
   /// Installs the shared root inode. Exactly one MDS in a cluster roots the

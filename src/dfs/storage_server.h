@@ -36,8 +36,9 @@ class StorageServer {
 
   net::NodeId node() const { return node_; }
 
-  sim::Task<DataResponse> call(net::NodeId from, DataRequest req) {
-    return rpc_->call(from, std::move(req));
+  sim::Task<DataResponse> call(net::NodeId from, DataRequest req,
+                               obs::SpanId parent = obs::kNoSpan) {
+    return rpc_->call(from, std::move(req), parent);
   }
 
   std::uint64_t chunks_stored() const { return chunks_.size(); }

@@ -1,0 +1,40 @@
+#include "harness/run_report.h"
+
+#include <cstdlib>
+
+namespace pacon::harness {
+namespace {
+
+// Meyers singleton keeps the report alive for the atexit writer regardless
+// of static-destruction order in the translation units that capture into it.
+obs::RunReport& report_instance() {
+  static obs::RunReport report;
+  return report;
+}
+
+bool g_enabled = false;
+
+void write_report() {
+  const char* dir = std::getenv("PACON_METRICS_DIR");
+  report_instance().write(dir != nullptr ? dir : "");
+}
+
+}  // namespace
+
+void enable_run_report(const std::string& name) {
+  report_instance().set_name(name);
+  if (!g_enabled) {
+    g_enabled = true;
+    std::atexit(write_report);
+  }
+}
+
+bool run_report_enabled() { return g_enabled; }
+
+obs::RunReport& global_report() { return report_instance(); }
+
+void report_capture(const std::string& label, const sim::MetricRegistry& registry) {
+  if (g_enabled) report_instance().capture(label, registry);
+}
+
+}  // namespace pacon::harness

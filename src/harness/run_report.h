@@ -1,0 +1,30 @@
+// Machine-readable run reports: opt-in, process-wide capture of metric
+// snapshots, written as a JSON sidecar when the process exits.
+//
+// Benches call enable_run_report("<figNN>") once at the top of main; every
+// TestBed then contributes a labelled snapshot of its metric registry when
+// it is torn down, and an atexit hook writes <name>_metrics.json into
+// $PACON_METRICS_DIR (or the working directory). Tests and the perf kernel
+// never enable it, so they pay nothing.
+#pragma once
+
+#include <string>
+
+#include "obs/report.h"
+#include "sim/metrics.h"
+
+namespace pacon::harness {
+
+/// Turns the global run report on and names its output file. Idempotent;
+/// the first call installs the atexit writer.
+void enable_run_report(const std::string& name);
+
+bool run_report_enabled();
+
+obs::RunReport& global_report();
+
+/// Adds a labelled snapshot of `registry` to the global report when it is
+/// enabled; no-op otherwise.
+void report_capture(const std::string& label, const sim::MetricRegistry& registry);
+
+}  // namespace pacon::harness

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "harness/run_report.h"
+
 namespace pacon::harness {
 namespace {
 
@@ -180,6 +182,11 @@ TestBed::TestBed(TestBedConfig config) : config_(std::move(config)) {
     rt_ = std::make_unique<core::PaconRuntime>(
         core::PaconRuntime{*sim_, *fabric_, *dfs_, *registry_});
   }
+}
+
+TestBed::~TestBed() {
+  report_capture(std::string(to_string(config_.kind)) + "_seed" + std::to_string(config_.seed),
+                 sim_->metrics());
 }
 
 void TestBed::provision_workspace(const std::string& path, fs::Credentials creds) {

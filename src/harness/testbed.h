@@ -47,6 +47,9 @@ struct TestBedConfig {
 class TestBed {
  public:
   explicit TestBed(TestBedConfig config);
+  /// Contributes a labelled metric snapshot to the global run report when a
+  /// bench enabled one (harness/run_report.h); otherwise does nothing extra.
+  ~TestBed();
   TestBed(const TestBed&) = delete;
   TestBed& operator=(const TestBed&) = delete;
 

@@ -157,22 +157,46 @@ std::uint32_t& MemCacheCluster::failure_slot(net::NodeId node) {
   return failures_by_node_[node.value];
 }
 
-void MemCacheCluster::note_failure(net::NodeId node) {
+bool MemCacheCluster::note_failure(net::NodeId node) {
   std::uint32_t& failures = failure_slot(node);
   if (++failures >= config_.suspect_after_failures && !ring_.is_suspect(node)) {
     ring_.set_suspect(node, true);
     ++failovers_;
     sim_.trace_note_lazy([&] { return "kv-failover node=" + std::to_string(node.value); });
+    return true;
   }
+  return false;
 }
 
 void MemCacheCluster::note_success(net::NodeId node) { failure_slot(node) = 0; }
 
-sim::Task<KvResponse> MemCacheCluster::route(net::NodeId from, KvRequest req) {
+namespace {
+
+constexpr const char* span_name(KvRequest::Op op) {
+  switch (op) {
+    case KvRequest::Op::get: return "kv.get";
+    case KvRequest::Op::set: return "kv.set";
+    case KvRequest::Op::add: return "kv.add";
+    case KvRequest::Op::replace: return "kv.replace";
+    case KvRequest::Op::del: return "kv.del";
+    case KvRequest::Op::cas: return "kv.cas";
+  }
+  return "kv.op";
+}
+
+}  // namespace
+
+sim::Task<KvResponse> MemCacheCluster::route(net::NodeId from, KvRequest req,
+                                             obs::SpanId parent) {
   assert(!ring_.empty());
   // Route on the caller-supplied hash when present; fill it in otherwise so
   // the server's item table reuses it too.
   if (req.key_hash == 0) req.key_hash = sim::Rng::hash(req.key);
+  // Traced requests get one span over the whole routing loop; individual
+  // wire attempts, retries and ring failovers land on it as child rpc spans
+  // and tagged events.
+  obs::Span span(parent != obs::kNoSpan ? sim_.tracer() : nullptr, span_name(req.op), parent,
+                 from.value);
   // Each attempt re-resolves the owner: once repeated failures mark a node
   // suspect, the ring routes the key to its clockwise successor, so a retry
   // after failover lands on a live server. RpcErrors never escape -- callers
@@ -181,48 +205,59 @@ sim::Task<KvResponse> MemCacheCluster::route(net::NodeId from, KvRequest req) {
     if (ring_.live_node_count() == 0) break;  // every server suspect: give up
     const net::NodeId owner = ring_.node_for_hash(req.key_hash);
     try {
-      KvResponse resp = co_await server_on(owner).call(from, KvRequest{req});
+      KvResponse resp = co_await server_on(owner).call(from, KvRequest{req}, span.id());
       note_success(owner);
+      span.finish("ok");
       co_return resp;
     } catch (const net::RpcError&) {
-      note_failure(owner);
+      if (note_failure(owner)) {
+        span.event("kv.failover", "node=" + std::to_string(owner.value));
+      }
     }
     if (!config_.retry.should_retry(attempt)) break;
+    span.event("kv.retry", "attempt=" + std::to_string(attempt + 1));
     co_await sim_.delay(config_.retry.backoff(attempt, rng_));
   }
   ++unreachable_requests_;
+  span.finish("unreachable");
   co_return KvResponse{KvStatus::unreachable, {}, 0, 0};
 }
 
 sim::Task<KvResponse> MemCacheCluster::get(net::NodeId from, std::string key,
-                                           std::uint64_t key_hash) {
-  return route(from, KvRequest{KvRequest::Op::get, std::move(key), {}, 0, 0, key_hash});
+                                           std::uint64_t key_hash, obs::SpanId span) {
+  return route(from, KvRequest{KvRequest::Op::get, std::move(key), {}, 0, 0, key_hash}, span);
 }
 sim::Task<KvResponse> MemCacheCluster::set(net::NodeId from, std::string key, std::string value,
-                                           std::uint32_t flags, std::uint64_t key_hash) {
+                                           std::uint32_t flags, std::uint64_t key_hash,
+                                           obs::SpanId span) {
   return route(from,
-               KvRequest{KvRequest::Op::set, std::move(key), std::move(value), 0, flags, key_hash});
+               KvRequest{KvRequest::Op::set, std::move(key), std::move(value), 0, flags, key_hash},
+               span);
 }
 sim::Task<KvResponse> MemCacheCluster::add(net::NodeId from, std::string key, std::string value,
-                                           std::uint32_t flags, std::uint64_t key_hash) {
+                                           std::uint32_t flags, std::uint64_t key_hash,
+                                           obs::SpanId span) {
   return route(from,
-               KvRequest{KvRequest::Op::add, std::move(key), std::move(value), 0, flags, key_hash});
+               KvRequest{KvRequest::Op::add, std::move(key), std::move(value), 0, flags, key_hash},
+               span);
 }
 sim::Task<KvResponse> MemCacheCluster::replace(net::NodeId from, std::string key,
                                                std::string value, std::uint32_t flags,
-                                               std::uint64_t key_hash) {
+                                               std::uint64_t key_hash, obs::SpanId span) {
   return route(from, KvRequest{KvRequest::Op::replace, std::move(key), std::move(value), 0, flags,
-                               key_hash});
+                               key_hash},
+               span);
 }
 sim::Task<KvResponse> MemCacheCluster::del(net::NodeId from, std::string key,
-                                           std::uint64_t key_hash) {
-  return route(from, KvRequest{KvRequest::Op::del, std::move(key), {}, 0, 0, key_hash});
+                                           std::uint64_t key_hash, obs::SpanId span) {
+  return route(from, KvRequest{KvRequest::Op::del, std::move(key), {}, 0, 0, key_hash}, span);
 }
 sim::Task<KvResponse> MemCacheCluster::cas(net::NodeId from, std::string key, std::string value,
                                            std::uint64_t version, std::uint32_t flags,
-                                           std::uint64_t key_hash) {
+                                           std::uint64_t key_hash, obs::SpanId span) {
   return route(from, KvRequest{KvRequest::Op::cas, std::move(key), std::move(value), version,
-                               flags, key_hash});
+                               flags, key_hash},
+               span);
 }
 
 std::uint64_t MemCacheCluster::total_bytes_used() const {

@@ -20,6 +20,7 @@
 
 #include "kv/hash_ring.h"
 #include "net/fabric.h"
+#include "obs/span_id.h"
 #include "net/retry.h"
 #include "net/rpc.h"
 #include "sim/random.h"
@@ -117,8 +118,9 @@ class MemCacheServer {
   net::NodeId node() const { return node_; }
 
   /// RPC entry point used by clients.
-  sim::Task<KvResponse> call(net::NodeId from, KvRequest req) {
-    return rpc_->call(from, std::move(req));
+  sim::Task<KvResponse> call(net::NodeId from, KvRequest req,
+                             obs::SpanId parent = obs::kNoSpan) {
+    return rpc_->call(from, std::move(req), parent);
   }
 
   /// Direct (local, zero-cost) application of a request; used by the RPC
@@ -212,25 +214,34 @@ class MemCacheCluster {
 
   /// Cluster ops, issued from `from`; routed by key hash. The trailing
   /// `key_hash` (sim::Rng::hash of the key, e.g. fs::Path::hash()) lets the
-  /// router and server skip rehashing; 0 = compute here.
-  sim::Task<KvResponse> get(net::NodeId from, std::string key, std::uint64_t key_hash = 0);
+  /// router and server skip rehashing; 0 = compute here. `span` is the
+  /// caller's tracing context: traced requests get a "kv.<op>" child span
+  /// covering routing, retries and ring failover.
+  sim::Task<KvResponse> get(net::NodeId from, std::string key, std::uint64_t key_hash = 0,
+                            obs::SpanId span = obs::kNoSpan);
   sim::Task<KvResponse> set(net::NodeId from, std::string key, std::string value,
-                            std::uint32_t flags = 0, std::uint64_t key_hash = 0);
+                            std::uint32_t flags = 0, std::uint64_t key_hash = 0,
+                            obs::SpanId span = obs::kNoSpan);
   sim::Task<KvResponse> add(net::NodeId from, std::string key, std::string value,
-                            std::uint32_t flags = 0, std::uint64_t key_hash = 0);
+                            std::uint32_t flags = 0, std::uint64_t key_hash = 0,
+                            obs::SpanId span = obs::kNoSpan);
   sim::Task<KvResponse> replace(net::NodeId from, std::string key, std::string value,
-                                std::uint32_t flags = 0, std::uint64_t key_hash = 0);
-  sim::Task<KvResponse> del(net::NodeId from, std::string key, std::uint64_t key_hash = 0);
+                                std::uint32_t flags = 0, std::uint64_t key_hash = 0,
+                                obs::SpanId span = obs::kNoSpan);
+  sim::Task<KvResponse> del(net::NodeId from, std::string key, std::uint64_t key_hash = 0,
+                            obs::SpanId span = obs::kNoSpan);
   sim::Task<KvResponse> cas(net::NodeId from, std::string key, std::string value,
                             std::uint64_t version, std::uint32_t flags = 0,
-                            std::uint64_t key_hash = 0);
+                            std::uint64_t key_hash = 0, obs::SpanId span = obs::kNoSpan);
 
   std::uint64_t total_bytes_used() const;
   std::uint64_t total_items() const;
 
  private:
-  sim::Task<KvResponse> route(net::NodeId from, KvRequest req);
-  void note_failure(net::NodeId node);
+  sim::Task<KvResponse> route(net::NodeId from, KvRequest req, obs::SpanId parent);
+  /// Returns true when this failure is the one that marked the node suspect
+  /// (its keyspace just failed over to the ring successor).
+  bool note_failure(net::NodeId node);
   void note_success(net::NodeId node);
   std::uint32_t& failure_slot(net::NodeId node);
 

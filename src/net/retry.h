@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "net/rpc.h"
 #include "sim/random.h"
@@ -50,15 +51,20 @@ struct RetryPolicy {
 
 /// Runs `attempt()` (a callable returning sim::Task<T>) until it succeeds or
 /// the policy's attempts are exhausted; RpcError failures back off with
-/// deterministic jitter. The final error is rethrown to the caller.
+/// deterministic jitter. The final error is rethrown to the caller. A traced
+/// caller passes its span so every resubmission lands as a tagged event on
+/// it ("rpc.retry", attempt index) instead of vanishing into the backoff.
 template <typename F>
-auto retry_rpc(sim::Simulation& sim, RetryPolicy policy, sim::Rng& rng, F attempt)
-    -> decltype(attempt()) {
+auto retry_rpc(sim::Simulation& sim, RetryPolicy policy, sim::Rng& rng, F attempt,
+               obs::SpanId span = obs::kNoSpan) -> decltype(attempt()) {
   for (std::size_t a = 0;; ++a) {
     try {
       co_return co_await attempt();
     } catch (const RpcError&) {
       if (!policy.should_retry(a)) throw;
+    }
+    if (obs::Tracer* tracer = sim.tracer(); tracer != nullptr && span != obs::kNoSpan) {
+      tracer->event(span, "rpc.retry", "attempt=" + std::to_string(a + 1));
     }
     co_await sim.delay(policy.backoff(a, rng));
   }

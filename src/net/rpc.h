@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "net/fabric.h"
+#include "obs/trace.h"
 #include "sim/channel.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
@@ -87,14 +88,23 @@ class RpcService {
   void shutdown() { inbox_.close(); }
 
   /// Issues a call from `from`; completes when the response lands back.
-  sim::Task<Resp> call(NodeId from, Req req) {
+  /// `parent` is an optional tracing context: with a tracer installed and a
+  /// traced caller, the call's wire + queue + service time becomes an
+  /// "rpc.call" span under the caller's span (untraced calls skip the span
+  /// entirely so background chatter never pollutes a trace).
+  sim::Task<Resp> call(NodeId from, Req req, obs::SpanId parent = obs::kNoSpan) {
+    obs::Span span(parent != obs::kNoSpan ? sim_.tracer() : nullptr, "rpc.call", parent,
+                   from.value);
     if (!fabric_.reachable(from, self_)) {
+      span.finish("unreachable");
       throw RpcError(RpcError::Code::unreachable, "rpc: destination unreachable");
     }
     const sim::FaultDecision req_fate = fabric_.message_fate(from, self_);
     if (req_fate.drop) {
       // The request never arrives; the caller's timer expires.
+      span.event("request_lost");
       co_await sim_.delay(config_.call_timeout);
+      span.finish("timeout");
       throw RpcError(RpcError::Code::timeout, "rpc: request lost on the wire");
     }
     co_await sim_.delay(fabric_.one_way(from, self_, config_.request_bytes) +
@@ -113,7 +123,9 @@ class RpcService {
       // The server executed the call but the response vanished: the caller
       // times out not knowing -- the case that makes retried mutations
       // at-least-once and forces idempotent handling upstream.
+      span.event("response_lost");
       co_await sim_.delay(config_.call_timeout);
+      span.finish("timeout");
       throw RpcError(RpcError::Code::timeout, "rpc: response lost on the wire");
     }
     co_await sim_.delay(fabric_.one_way(self_, from, config_.response_bytes) +
@@ -122,8 +134,10 @@ class RpcService {
       throw RpcError(RpcError::Code::unreachable, "rpc: caller died awaiting response");
     }
     if (auto* err = std::get_if<std::exception_ptr>(&outcome)) {
+      span.finish("handler_error");
       std::rethrow_exception(*err);
     }
+    span.finish("ok");
     co_return std::move(std::get<Resp>(outcome));
   }
 

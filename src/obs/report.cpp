@@ -1,0 +1,106 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace pacon::obs {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_key(std::string& out, std::string_view name) {
+  out += '"';
+  append_escaped(out, name);
+  out += "\":";
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string metrics_json(const sim::MetricRegistry& registry) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : registry.counters()) {
+    if (!first) out += ',';
+    first = false;
+    append_key(out, name);
+    out += std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : registry.gauges()) {
+    if (!first) out += ',';
+    first = false;
+    append_key(out, name);
+    out += "{\"value\":" + std::to_string(g->value()) + ",\"min\":" + std::to_string(g->min()) +
+           ",\"max\":" + std::to_string(g->max()) +
+           ",\"updates\":" + std::to_string(g->updates()) + "}";
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : registry.histograms()) {
+    if (!first) out += ',';
+    first = false;
+    append_key(out, name);
+    out += "{\"count\":" + std::to_string(h->count()) + ",\"mean\":";
+    append_double(out, h->mean());
+    out += ",\"min\":" + std::to_string(h->min()) + ",\"max\":" + std::to_string(h->max()) +
+           ",\"p50\":" + std::to_string(h->percentile(0.50)) +
+           ",\"p90\":" + std::to_string(h->percentile(0.90)) +
+           ",\"p99\":" + std::to_string(h->percentile(0.99)) +
+           ",\"p999\":" + std::to_string(h->percentile(0.999)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string RunReport::to_json() const {
+  std::string out = "{\"name\":\"";
+  append_escaped(out, name_);
+  out += "\",\"snapshots\":[\n";
+  bool first = true;
+  for (const auto& [label, metrics] : snapshots_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"label\":\"";
+    append_escaped(out, label);
+    out += "\",\"metrics\":";
+    out += metrics;
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool RunReport::write(const std::string& dir) const {
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += name_ + "_metrics.json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace pacon::obs

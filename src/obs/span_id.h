@@ -1,0 +1,17 @@
+// Span identifier shared by every instrumented layer.
+//
+// Kept in its own tiny header so hot-path headers (net/rpc.h, kv, dfs, core)
+// can take a defaulted `obs::SpanId parent = 0` parameter without pulling in
+// the tracer. Id 0 means "no span": instrumentation sites treat it as
+// "caller is untraced" and skip child-span creation entirely.
+#pragma once
+
+#include <cstdint>
+
+namespace pacon::obs {
+
+using SpanId = std::uint64_t;
+
+inline constexpr SpanId kNoSpan = 0;
+
+}  // namespace pacon::obs

@@ -1,0 +1,181 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <unordered_set>
+
+namespace pacon::obs {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Virtual nanoseconds -> trace microseconds with sub-us fraction intact.
+void append_ts(std::string& out, sim::SimTime ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu", static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+struct Record {
+  sim::SimTime ts = 0;
+  int rank = 0;  // 0 = begin, 1 = instant, 2 = end; orders records at equal ts
+  std::uint64_t seq = 0;
+  std::string json;
+};
+
+}  // namespace
+
+std::vector<SpanId> Tracer::children(SpanId parent) const {
+  std::vector<SpanId> out;
+  for (const SpanRecord& rec : spans_) {
+    if (rec.parent == parent && parent != kNoSpan) out.push_back(rec.id);
+  }
+  return out;
+}
+
+std::vector<SpanId> Tracer::subtree(SpanId id) const {
+  std::vector<SpanId> out;
+  if (id == kNoSpan || id > spans_.size()) return out;
+  // Ids are creation-ordered and a child is always created after its parent,
+  // so one forward pass over the membership set suffices.
+  std::unordered_set<SpanId> members{id};
+  out.push_back(id);
+  for (const SpanRecord& rec : spans_) {
+    if (rec.id != id && rec.parent != kNoSpan && members.count(rec.parent) != 0) {
+      members.insert(rec.id);
+      out.push_back(rec.id);
+    }
+  }
+  return out;
+}
+
+SpanId Tracer::root_of(SpanId id) const {
+  if (id == kNoSpan || id > spans_.size()) return kNoSpan;
+  while (spans_[id - 1].parent != kNoSpan) id = spans_[id - 1].parent;
+  return id;
+}
+
+SpanId Tracer::find(std::string_view name) const {
+  for (const SpanRecord& rec : spans_) {
+    if (rec.name == name) return rec.id;
+  }
+  return kNoSpan;
+}
+
+std::string Tracer::export_chrome_json() const {
+  std::vector<Record> records;
+  records.reserve(spans_.size() * 2);
+  std::uint64_t seq = 0;
+  const sim::SimTime horizon = sim_.now();
+
+  for (const SpanRecord& rec : spans_) {
+    const sim::SimTime end = rec.open ? std::max(rec.begin, horizon) : rec.end;
+
+    std::string b = "{\"name\":\"";
+    append_escaped(b, rec.name);
+    b += "\",\"cat\":\"pacon\",\"ph\":\"b\",\"id\":";
+    b += std::to_string(rec.id);
+    b += ",\"pid\":";
+    b += std::to_string(rec.node);
+    b += ",\"tid\":0,\"ts\":";
+    append_ts(b, rec.begin);
+    b += ",\"args\":{\"parent\":";
+    b += std::to_string(rec.parent);
+    b += "}}";
+    records.push_back(Record{rec.begin, 0, seq++, std::move(b)});
+
+    for (const SpanEvent& ev : rec.events) {
+      std::string n = "{\"name\":\"";
+      append_escaped(n, ev.name);
+      n += "\",\"cat\":\"pacon\",\"ph\":\"n\",\"id\":";
+      n += std::to_string(rec.id);
+      n += ",\"pid\":";
+      n += std::to_string(rec.node);
+      n += ",\"tid\":0,\"ts\":";
+      append_ts(n, ev.at);
+      n += ",\"args\":{";
+      if (!ev.detail.empty()) {
+        n += "\"detail\":\"";
+        append_escaped(n, ev.detail);
+        n += "\"";
+      }
+      n += "}}";
+      records.push_back(Record{ev.at, 1, seq++, std::move(n)});
+    }
+
+    std::string e = "{\"name\":\"";
+    append_escaped(e, rec.name);
+    e += "\",\"cat\":\"pacon\",\"ph\":\"e\",\"id\":";
+    e += std::to_string(rec.id);
+    e += ",\"pid\":";
+    e += std::to_string(rec.node);
+    e += ",\"tid\":0,\"ts\":";
+    append_ts(e, end);
+    e += ",\"args\":{";
+    if (!rec.status.empty()) {
+      e += "\"status\":\"";
+      append_escaped(e, rec.status);
+      e += "\"";
+    }
+    e += "}}";
+    records.push_back(Record{end, 2, seq++, std::move(e)});
+  }
+
+  // Monotonic timestamps; at equal ts: begins, then instants, then ends.
+  // A span's own end never precedes its begin (begin <= end, lower rank),
+  // which is what scripts/trace_validate.py asserts.
+  std::sort(records.begin(), records.end(), [](const Record& a, const Record& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.seq < b.seq;
+  });
+
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  // Name the per-node tracks so viewers show "node N" instead of bare pids.
+  std::unordered_set<std::uint32_t> nodes;
+  for (const SpanRecord& rec : spans_) nodes.insert(rec.node);
+  std::vector<std::uint32_t> sorted_nodes(nodes.begin(), nodes.end());
+  std::sort(sorted_nodes.begin(), sorted_nodes.end());
+  bool first = true;
+  for (const std::uint32_t node : sorted_nodes) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(node) +
+           ",\"tid\":0,\"args\":{\"name\":\"node " + std::to_string(node) + "\"}}";
+  }
+  for (const Record& rec : records) {
+    if (!first) out += ",\n";
+    first = false;
+    out += rec.json;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << export_chrome_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace pacon::obs

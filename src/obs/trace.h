@@ -1,0 +1,184 @@
+// Span-based operation tracing over virtual time.
+//
+// A Tracer records a forest of spans: each span has a name, the node it ran
+// on, begin/end virtual timestamps, a parent span, and a list of instant
+// events (retries, failovers, degraded pass-through). Context propagates
+// *explicitly*: callers pass their SpanId down through function parameters
+// and message fields (OpMessage::span), never through ambient state --
+// coroutine interleaving would corrupt any thread-local "current span" the
+// moment two operations overlap in virtual time.
+//
+// The tracer is installed on the Simulation (sim.set_tracer); every
+// instrumentation site guards on `sim.tracer()` being non-null, so an
+// untraced run pays one predicted-not-taken branch per site and allocates
+// nothing. Export is Chrome trace-event JSON (nestable async events keyed by
+// span id, `ts` in microseconds of virtual time) loadable by chrome://tracing
+// and ui.perfetto.dev.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/span_id.h"
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace pacon::obs {
+
+/// Instant event attached to a span (retry, failover, degraded fallback...).
+struct SpanEvent {
+  sim::SimTime at = 0;
+  std::string name;
+  std::string detail;  // optional human-readable payload
+};
+
+struct SpanRecord {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  std::string name;
+  std::uint32_t node = 0;  // node the span was opened on (trace "pid")
+  sim::SimTime begin = 0;
+  sim::SimTime end = 0;
+  bool open = true;
+  std::string status;  // outcome tag set at end ("ok", "io", "redelivered"...)
+  std::vector<SpanEvent> events;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(sim::Simulation& sim) : sim_(sim) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span at the current virtual time. Ids are sequential from 1 and
+  /// never reused, so per-seed runs produce identical id assignments.
+  SpanId begin_span(std::string_view name, SpanId parent = kNoSpan, std::uint32_t node = 0) {
+    SpanRecord rec;
+    rec.id = static_cast<SpanId>(spans_.size() + 1);
+    rec.parent = parent;
+    rec.name = std::string(name);
+    rec.node = node;
+    rec.begin = sim_.now();
+    rec.end = sim_.now();
+    spans_.push_back(std::move(rec));
+    return spans_.back().id;
+  }
+
+  /// Closes a span at the current virtual time. Closing twice is a no-op
+  /// (the first close wins), so RAII wrappers compose with explicit ends.
+  void end_span(SpanId id, std::string_view status = {}) {
+    if (id == kNoSpan || id > spans_.size()) return;
+    SpanRecord& rec = spans_[id - 1];
+    if (!rec.open) return;
+    rec.open = false;
+    rec.end = sim_.now();
+    if (!status.empty()) rec.status = std::string(status);
+  }
+
+  /// Attaches an instant event to a span. No-op for kNoSpan, so call sites
+  /// don't need their own guards once they hold a (possibly null) id.
+  void event(SpanId id, std::string_view name, std::string detail = {}) {
+    if (id == kNoSpan || id > spans_.size()) return;
+    spans_[id - 1].events.push_back(SpanEvent{sim_.now(), std::string(name), std::move(detail)});
+  }
+
+  std::size_t span_count() const { return spans_.size(); }
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  /// Lookup by id; id must be a value previously returned by begin_span.
+  const SpanRecord& span(SpanId id) const { return spans_.at(id - 1); }
+
+  /// Direct children of `parent`, in creation order.
+  std::vector<SpanId> children(SpanId parent) const;
+
+  /// `id` plus every span transitively parented under it, in creation order.
+  std::vector<SpanId> subtree(SpanId id) const;
+
+  /// Walks parent links to the root of `id`'s span tree.
+  SpanId root_of(SpanId id) const;
+
+  /// First span (in creation order) with the given name, or kNoSpan.
+  SpanId find(std::string_view name) const;
+
+  /// Chrome trace-event JSON ("traceEvents" array of nestable async b/e/n
+  /// records sorted by timestamp). Loadable by chrome://tracing & Perfetto.
+  std::string export_chrome_json() const;
+
+  /// Writes export_chrome_json() to `path`; returns false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+  sim::Simulation& sim() { return sim_; }
+
+ private:
+  sim::Simulation& sim_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// RAII span: opens on construction (when a tracer is present), closes on
+/// destruction unless finished explicitly first. A default-constructed or
+/// null-tracer Span is inert, which lets instrumented code hold one
+/// unconditionally:
+///
+///   obs::Span span(sim.tracer(), "region.create", parent, node.value);
+///   ...
+///   span.finish("ok");
+///
+/// Spans held inside coroutine frames can outlive the Tracer: the Simulation
+/// destructor tears down still-suspended processes, and their Span
+/// destructors run after the (stack- or heap-owned) tracer is gone. finish()
+/// therefore re-checks that its tracer is still the one installed on the
+/// Simulation -- uninstall with sim.set_tracer(nullptr) before destroying a
+/// tracer and every outstanding Span becomes inert. The Simulation itself is
+/// always alive while its frames are destroyed, so that check is safe.
+class Span {
+ public:
+  Span() = default;
+  Span(Tracer* tracer, std::string_view name, SpanId parent = kNoSpan, std::uint32_t node = 0)
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      sim_ = &tracer_->sim();
+      id_ = tracer_->begin_span(name, parent, node);
+    }
+  }
+  Span(Span&& other) noexcept : tracer_(other.tracer_), sim_(other.sim_), id_(other.id_) {
+    other.tracer_ = nullptr;
+    other.sim_ = nullptr;
+    other.id_ = kNoSpan;
+  }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      finish();
+      tracer_ = other.tracer_;
+      sim_ = other.sim_;
+      id_ = other.id_;
+      other.tracer_ = nullptr;
+      other.sim_ = nullptr;
+      other.id_ = kNoSpan;
+    }
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { finish(); }
+
+  /// Id to hand to callees as their parent; kNoSpan when tracing is off.
+  SpanId id() const { return id_; }
+
+  void event(std::string_view name, std::string detail = {}) {
+    if (tracer_ != nullptr && sim_->tracer() == tracer_) tracer_->event(id_, name, std::move(detail));
+  }
+
+  void finish(std::string_view status = {}) {
+    if (tracer_ != nullptr && sim_->tracer() == tracer_) tracer_->end_span(id_, status);
+    tracer_ = nullptr;
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  sim::Simulation* sim_ = nullptr;
+  SpanId id_ = kNoSpan;
+};
+
+}  // namespace pacon::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <iomanip>
 #include <sstream>
 
 namespace pacon::sim {
@@ -71,15 +72,48 @@ Histogram& MetricRegistry::histogram(std::string_view name) {
   return *it->second;
 }
 
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+void MetricRegistry::reset_all() {
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+}
+
 std::string MetricRegistry::dump() const {
+  // Fixed-width name column so successive dumps line up and diff cleanly.
+  std::size_t width = 0;
+  for (const auto& [name, c] : counters_) width = std::max(width, name.size());
+  for (const auto& [name, g] : gauges_) width = std::max(width, name.size());
+  for (const auto& [name, h] : histograms_) width = std::max(width, name.size());
+
   std::ostringstream out;
+  auto pad = [&](const std::string& name) {
+    out << name << std::string(width - name.size(), ' ');
+  };
   for (const auto& [name, c] : counters_) {
-    out << name << " = " << c->value() << '\n';
+    pad(name);
+    out << " = " << std::setw(12) << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    pad(name);
+    out << " = " << std::setw(12) << g->value() << "  min=" << std::setw(12) << g->min()
+        << " max=" << std::setw(12) << g->max() << " updates=" << std::setw(12) << g->updates()
+        << '\n';
   }
   for (const auto& [name, h] : histograms_) {
-    out << name << ": count=" << h->count() << " mean=" << h->mean()
-        << " p50=" << h->percentile(0.50) << " p99=" << h->percentile(0.99)
-        << " max=" << h->max() << '\n';
+    pad(name);
+    out << " : count=" << std::setw(12) << h->count() << " mean=" << std::setw(14) << std::fixed
+        << std::setprecision(1) << h->mean() << " p50=" << std::setw(12) << h->percentile(0.50)
+        << " p99=" << std::setw(12) << h->percentile(0.99) << " max=" << std::setw(12) << h->max()
+        << '\n';
+    out.unsetf(std::ios::fixed);
   }
   return out.str();
 }

@@ -29,6 +29,10 @@
 #include "sim/task.h"
 #include "sim/time.h"
 
+namespace pacon::obs {
+class Tracer;
+}  // namespace pacon::obs
+
 namespace pacon::sim {
 
 class Simulation {
@@ -149,6 +153,19 @@ class Simulation {
     trace_note(std::forward<LabelFn>(make_label)());
   }
 
+  // ---- Operation tracing (obs/trace.h) --------------------------------------
+  //
+  // The kernel only carries an opaque pointer; the span tracer lives in
+  // src/obs and is owned by whoever installed it. With no tracer installed
+  // every instrumentation site reduces to one null check (the same guarded
+  // zero-cost idiom as the determinism hook above).
+
+  /// Installs (or, with nullptr, removes) the span tracer.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Installed span tracer, or nullptr. Instrumentation sites guard on this.
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   void dispatch(const KernelEvent& ev);
   std::uint32_t acquire_callback_slot(SmallFunc fn);
@@ -168,6 +185,9 @@ class Simulation {
   TraceHook trace_hook_;
   std::uint64_t trace_index_ = 0;
   std::uint64_t current_event_seq_ = 0;
+  // Last on purpose: keeps the dispatch loop's hot members (trace_index_,
+  // current_event_seq_) on the same cache lines as before tracing existed.
+  obs::Tracer* tracer_ = nullptr;
 };
 
 namespace detail {

@@ -96,13 +96,158 @@ TEST(MetricRegistry, LookupCreatesOnce) {
   EXPECT_EQ(reg.histograms().size(), 1u);
 }
 
+TEST(Histogram, MergeEmptyIntoEmptyStaysEmpty) {
+  Histogram a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), 0u);
+  EXPECT_EQ(a.percentile(0.5), 0u);
+}
+
+TEST(Histogram, MergeEmptyIsIdentity) {
+  Histogram a, empty;
+  a.record(42);
+  a.record(7);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 7u);
+  EXPECT_EQ(a.max(), 42u);
+  // And the other direction: empty absorbs a's population exactly.
+  Histogram c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_EQ(c.min(), 7u);
+  EXPECT_EQ(c.max(), 42u);
+}
+
+TEST(Histogram, SingleSamplePercentilesAllAgree) {
+  Histogram h;
+  h.record(17);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.percentile(q), 17u) << "q=" << q;
+  }
+}
+
+TEST(Histogram, PercentileEndpointsAndClamping) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(0.0), h.min());
+  EXPECT_EQ(h.percentile(1.0), h.max());
+  // Out-of-range quantiles clamp to the endpoints instead of misbehaving.
+  EXPECT_EQ(h.percentile(-0.5), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(2.0), h.percentile(1.0));
+}
+
+TEST(Histogram, MergeAcrossMajorBuckets) {
+  // Populations living in different major buckets (small exact values vs
+  // large log-bucketed ones) must keep their shape after a merge.
+  Histogram small, large;
+  for (int i = 0; i < 1000; ++i) small.record(3);
+  for (int i = 0; i < 1000; ++i) large.record(1ull << 30);
+  small.merge(large);
+  EXPECT_EQ(small.count(), 2000u);
+  EXPECT_EQ(small.min(), 3u);
+  EXPECT_EQ(small.max(), 1ull << 30);
+  EXPECT_EQ(small.percentile(0.25), 3u);  // lower half exact
+  const auto p75 = static_cast<double>(small.percentile(0.75));
+  EXPECT_NEAR(p75, static_cast<double>(1ull << 30), static_cast<double>(1ull << 30) * 0.05);
+  EXPECT_DOUBLE_EQ(small.mean(), (3.0 * 1000 + static_cast<double>(1ull << 30) * 1000) / 2000);
+}
+
+TEST(Gauge, SetAddAndWatermarks) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.min(), 0);  // untouched gauge reports 0, not INT64 extremes
+  EXPECT_EQ(g.max(), 0);
+  EXPECT_EQ(g.updates(), 0u);
+  g.set(5);
+  g.add(-8);
+  g.add(2);
+  EXPECT_EQ(g.value(), -1);
+  EXPECT_EQ(g.min(), -3);
+  EXPECT_EQ(g.max(), 5);
+  EXPECT_EQ(g.updates(), 3u);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.min(), 0);
+  EXPECT_EQ(g.max(), 0);
+  EXPECT_EQ(g.updates(), 0u);
+}
+
+TEST(MetricRegistry, GaugeLookupCreatesOnce) {
+  MetricRegistry reg;
+  reg.gauge("depth").set(4);
+  EXPECT_EQ(reg.gauge("depth").value(), 4);
+  EXPECT_EQ(reg.gauges().size(), 1u);
+}
+
+TEST(MetricRegistry, ScopedPrefixesNames) {
+  MetricRegistry reg;
+  MetricScope region = reg.scoped("region.ws");
+  region.counter("ops").add(2);
+  region.scoped("n0").gauge("backlog").set(9);
+  EXPECT_EQ(reg.counter("region.ws.ops").value(), 2u);
+  EXPECT_EQ(reg.gauge("region.ws.n0.backlog").value(), 9);
+  EXPECT_EQ(region.prefix(), "region.ws");
+}
+
+TEST(MetricRegistry, ResetAllZeroesButKeepsHandles) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("ops");
+  Gauge& g = reg.gauge("depth");
+  Histogram& h = reg.histogram("lat");
+  c.add(3);
+  g.set(7);
+  h.record(11);
+  reg.reset_all();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.updates(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  // Handles resolved before reset_all still refer to the live metrics.
+  c.add(1);
+  EXPECT_EQ(reg.counter("ops").value(), 1u);
+}
+
 TEST(MetricRegistry, DumpMentionsAllMetrics) {
   MetricRegistry reg;
   reg.counter("commits").add(7);
+  reg.gauge("depth").set(3);
   reg.histogram("rpc_ns").record(123);
   const std::string dump = reg.dump();
-  EXPECT_NE(dump.find("commits = 7"), std::string::npos);
+  EXPECT_NE(dump.find("commits"), std::string::npos);
+  EXPECT_NE(dump.find("depth"), std::string::npos);
   EXPECT_NE(dump.find("rpc_ns"), std::string::npos);
+  // Fixed-width columns: every '=' for the counter/gauge lines sits at the
+  // same offset, so successive dumps diff line-by-line.
+  const auto first_eq = dump.find(" = ");
+  ASSERT_NE(first_eq, std::string::npos);
+  std::size_t line_start = 0;
+  int eq_lines = 0;
+  while (line_start < dump.size()) {
+    const auto line_end = dump.find('\n', line_start);
+    const std::string line = dump.substr(line_start, line_end - line_start);
+    const auto eq = line.find(" = ");
+    if (eq != std::string::npos) {
+      EXPECT_EQ(eq, first_eq) << "misaligned line: " << line;
+      ++eq_lines;
+    }
+    line_start = line_end == std::string::npos ? dump.size() : line_end + 1;
+  }
+  EXPECT_EQ(eq_lines, 2);  // one counter + one gauge line
+}
+
+TEST(MetricRegistry, DumpIsStableAcrossCalls) {
+  MetricRegistry reg;
+  reg.counter("b").add(1);
+  reg.counter("a").add(2);
+  reg.gauge("g").set(-4);
+  reg.histogram("h").record(50);
+  EXPECT_EQ(reg.dump(), reg.dump());
+  // Sorted by name inside each section.
+  const std::string dump = reg.dump();
+  EXPECT_LT(dump.find("a "), dump.find("b "));
 }
 
 }  // namespace
