@@ -3,7 +3,10 @@
 # (when available), then the sanitizer matrix -- ASan+UBSan and TSan builds with -Werror and the
 # coroutine-lifetime detector compiled in, each running the entire ctest
 # suite (including the coroutine-detector unit tests and the determinism
-# checker), and finally trace validation: a real paconsim_cli run exported
+# checker) followed by an explicit `ctest -L faults` pass over the
+# failure-injection suites (Pacon, IndexFS, DFS, fault-topology unit tests;
+# every fault test carries a per-test TIMEOUT so a wedged retry loop fails
+# fast), and finally trace validation: a real paconsim_cli run exported
 # as Chrome trace JSON and held to scripts/trace_validate.py's invariants.
 # See DESIGN.md "Correctness tooling" and section 11 "Observability".
 #
@@ -57,6 +60,15 @@ for mode in "${modes[@]}"; do
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir "$build" --output-on-failure --timeout 300 -j "$jobs"
+  echo "---- PACON_SANITIZE=$mode: failure suites (ctest -L faults)"
+  # Explicit gate over the failure-injection suites: the three per-system
+  # scenario suites plus the fault-topology unit tests must pass under every
+  # sanitizer in the matrix (the TSan leg exercises them too). Fault tests
+  # carry their own 120s TIMEOUT property, so a hung retry loop fails fast.
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$build" -L faults --output-on-failure --timeout 120 -j "$jobs"
 done
 
 echo "==== [5/5] trace validation =================================================="

@@ -238,4 +238,14 @@ core::ConsistentRegion* TestBed::pacon_region(const std::string& workspace) {
   return registry_->by_root(fs::Path::parse(workspace));
 }
 
+sim::LinkFaultMatrix& TestBed::link_faults(sim::MessageFaultConfig global) {
+  if (!link_faults_) {
+    link_faults_ =
+        std::make_unique<sim::LinkFaultMatrix>(sim_->rng().fork("link-faults"), global);
+    link_faults_->bind_metrics(sim_->metrics().scoped("fault"));
+    fabric_->set_fault_matrix(link_faults_.get());
+  }
+  return *link_faults_;
+}
+
 }  // namespace pacon::harness

@@ -75,6 +75,12 @@ class TestBed {
   /// Direct handle to the Pacon region of `workspace` (Pacon testbeds only).
   core::ConsistentRegion* pacon_region(const std::string& workspace);
 
+  /// Lazily creates a LinkFaultMatrix (stream "link-faults" forked off this
+  /// bed's seed), binds its per-link counters under the "fault" metric scope
+  /// and installs it on the fabric. `global` applies on first call only;
+  /// later calls return the same matrix for adding rules or link flips.
+  sim::LinkFaultMatrix& link_faults(sim::MessageFaultConfig global = {});
+
  private:
   TestBedConfig config_;
   std::unique_ptr<sim::Simulation> sim_;
@@ -83,6 +89,7 @@ class TestBed {
   std::unique_ptr<indexfs::IndexFsCluster> indexfs_;
   std::unique_ptr<core::RegionRegistry> registry_;
   std::unique_ptr<core::PaconRuntime> rt_;
+  std::unique_ptr<sim::LinkFaultMatrix> link_faults_;
 };
 
 /// Runs `clients` coroutine loops for warmup+measure and reports the

@@ -74,17 +74,30 @@ class Fabric {
   bool node_up(NodeId node) const { return !down_.contains(node.value); }
   bool reachable(NodeId from, NodeId to) const { return node_up(from) && node_up(to); }
 
-  /// Installs (or clears, with nullptr) the message-level fault model
-  /// consulted by RPC and pub/sub for every cross-node message. Not owned.
+  /// Installs (or clears, with nullptr) the fabric-global message fault
+  /// model consulted by RPC and pub/sub for every cross-node message. Not
+  /// owned. For targeted (per-link / per-node) injection install a
+  /// LinkFaultMatrix instead; an installed matrix takes precedence.
   void set_fault_model(sim::MessageFaultModel* faults) { faults_ = faults; }
   sim::MessageFaultModel* fault_model() const { return faults_; }
 
+  /// Installs (or clears, with nullptr) the link-targeted fault topology.
+  /// Not owned. Takes precedence over a fabric-global model.
+  void set_fault_matrix(sim::LinkFaultMatrix* matrix) { fault_matrix_ = matrix; }
+  sim::LinkFaultMatrix* fault_matrix() const { return fault_matrix_; }
+
+  /// True when any message-fault source is installed; the network layers
+  /// branch to their fault-aware paths on this.
+  bool faults_installed() const { return fault_matrix_ != nullptr || faults_ != nullptr; }
+
   /// Fate of one message on the `from`->`to` hop. Loopback traffic is exempt
   /// (same-host queues neither lose nor reorder), as is everything when no
-  /// model is installed.
+  /// fault source is installed.
   sim::FaultDecision message_fate(NodeId from, NodeId to) {
-    if (faults_ == nullptr || from == to) return {};
-    return faults_->next();
+    if (from == to) return {};
+    if (fault_matrix_ != nullptr) return fault_matrix_->next(from.value, to.value);
+    if (faults_ != nullptr) return faults_->next();
+    return {};
   }
 
  private:
@@ -93,6 +106,7 @@ class Fabric {
   sim::Rng rng_;
   std::unordered_set<std::uint32_t> down_;
   sim::MessageFaultModel* faults_ = nullptr;
+  sim::LinkFaultMatrix* fault_matrix_ = nullptr;
 };
 
 }  // namespace pacon::net

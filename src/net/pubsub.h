@@ -106,7 +106,7 @@ class PubSubBus {
   /// Publish via a pre-resolved TopicHandle (no map lookup).
   std::size_t publish(NodeId from, TopicHandle topic, M msg, std::size_t bytes = 256) {
     auto& subs = *topic;
-    if (fabric_.fault_model() != nullptr && !reliable_) {
+    if (fabric_.faults_installed() && !reliable_) {
       return publish_faulty(from, subs, std::move(msg), bytes);
     }
     // Find the last reachable subscriber first so the message can be moved

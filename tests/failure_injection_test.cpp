@@ -3,11 +3,14 @@
 // WAL redelivery, barrier-epoch aborts, and recovery through checkpoints.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/pacon.h"
+#include "failure_suite_common.h"
 #include "sim/combinators.h"
 #include "sim/fault.h"
 #include "sim/simulation.h"
@@ -21,8 +24,9 @@ using sim::Simulation;
 using sim::Task;
 
 struct World {
-  explicit World(std::size_t client_nodes = 3)
-      : fabric(sim, net::FabricConfig{}),
+  explicit World(std::size_t client_nodes = 3, std::uint64_t seed = 1)
+      : sim(seed),
+        fabric(sim, net::FabricConfig{}),
         dfs(sim, fabric),
         registry(sim, fabric, dfs),
         rt{sim, fabric, dfs, registry} {
@@ -42,12 +46,24 @@ struct World {
     return std::make_unique<Pacon>(rt, net::NodeId{node}, std::move(cfg));
   }
 
+  /// Lazily installs a link-targeted fault topology on the fabric (same
+  /// stream name as TestBed::link_faults, so scenarios port both ways).
+  sim::LinkFaultMatrix& link_faults() {
+    if (!faults) {
+      faults = std::make_unique<sim::LinkFaultMatrix>(sim.rng().fork("link-faults"));
+      faults->bind_metrics(sim.metrics().scoped("fault"));
+      fabric.set_fault_matrix(faults.get());
+    }
+    return *faults;
+  }
+
   Simulation sim;
   net::Fabric fabric;
   dfs::DfsCluster dfs;
   RegionRegistry registry;
   PaconRuntime rt;
   std::vector<net::NodeId> nodes;
+  std::unique_ptr<sim::LinkFaultMatrix> faults;
 };
 
 TEST(Failure, DeadCacheNodeFailsOverWithoutClientVisibleErrors) {
@@ -237,7 +253,9 @@ TEST(Failure, BarrierAbortMidRmdirReplaysCleanly) {
     }
     auto dgone = co_await probe.getattr(Path::parse("/app/d"));
     EXPECT_FALSE(dgone.has_value());
-    if (!dgone) EXPECT_EQ(dgone.error(), FsError::not_found);
+    if (!dgone) {
+      EXPECT_EQ(dgone.error(), FsError::not_found);
+    }
   }(w, *c, rmdir_ok));
   EXPECT_TRUE(rmdir_ok);
   EXPECT_EQ(c->region().commit_crashes(), 1u);
@@ -277,7 +295,9 @@ TEST(Failure, CommitCrashRedeliversEveryOpExactlyOnce) {
     dfs::DfsClient probe(world.sim, world.dfs, net::NodeId{90'001});
     auto listing = co_await probe.readdir(Path::parse("/app"));
     EXPECT_TRUE(listing.has_value());
-    if (listing) EXPECT_EQ(listing->size(), 31u);  // warm + r0..r29
+    if (listing) {
+      EXPECT_EQ(listing->size(), 31u);  // warm + r0..r29
+    }
   }(w, *c));
   EXPECT_EQ(c->region().commit_crashes(), 1u);
   EXPECT_EQ(c->region().redelivered_ops(), 30u);
@@ -314,11 +334,15 @@ TEST(Failure, CacheNodeFlapDoesNotResurrectStaleEntries) {
     EXPECT_FALSE(p.region().cache().ring().is_suspect(net::NodeId{1}));
     auto got = co_await p.getattr(vpath);
     EXPECT_FALSE(got.has_value());
-    if (!got) EXPECT_EQ(got.error(), FsError::not_found);
+    if (!got) {
+      EXPECT_EQ(got.error(), FsError::not_found);
+    }
     // A barrier-forcing readdir with the full ring healthy agrees.
     auto listing = co_await p.readdir(Path::parse("/app"));
     EXPECT_TRUE(listing.has_value());
-    if (listing) EXPECT_TRUE(listing->empty());
+    if (listing) {
+      EXPECT_TRUE(listing->empty());
+    }
   }(w, *c, victim));
 }
 
@@ -376,6 +400,148 @@ TEST(Failure, CacheClusterRetryExhaustionReturnsUnreachable) {
   cluster.server_recovered(net::NodeId{6});
   const auto ok = sim::run_task(sim, cluster.set(net::NodeId{7}, "k", "v"));
   EXPECT_EQ(ok.status, kv::KvStatus::ok);
+}
+
+// ---- Asymmetric fault topology (shared scenarios, failure_suite_common.h) --
+//
+// The same lossy-link / partition / flapping-link scenarios the DFS and
+// IndexFS suites run, on the same seeds. Pacon differs from the baselines in
+// that its cache cluster retries and fails over internally, so a targeted
+// link fault must never surface as an application error -- only as failovers
+// and commit retries.
+
+// A lossy link between client 0 and cache node 1: every create still
+// succeeds (retry + failover absorb the loss), and no fault verdict ever
+// lands on another client's links.
+TEST(FailureAsym, LossyCacheLinkAbsorbedWithoutAppErrors) {
+  for (const std::uint64_t seed : ftest::kSuiteSeeds) {
+    World w(3, seed);
+    w.link_faults().set_link(0, 1, ftest::lossy_link_profile());
+    w.link_faults().set_link(1, 0, ftest::lossy_link_profile());
+    auto c = w.make_client(0);
+    int created = 0;
+    sim::run_task(w.sim, [](Pacon& p, int& ok) -> Task<> {
+      for (int i = 0; i < 24; ++i) {
+        auto r = co_await p.create(Path::parse("/app/f" + std::to_string(i)),
+                                   fs::FileMode::file_default());
+        if (r) ++ok;
+      }
+      co_await p.drain();
+    }(*c, created));
+    EXPECT_EQ(created, 24) << "seed " << seed;
+    EXPECT_EQ(c->region().pending_commits(), 0u);
+
+    // The targeted link took damage; every other inter-client link is clean.
+    std::uint64_t targeted = 0;
+    if (const auto* l = w.faults->lane_model(0, 1)) targeted += l->drops() + l->delays();
+    if (const auto* l = w.faults->lane_model(1, 0)) targeted += l->drops() + l->delays();
+    EXPECT_GT(targeted, 0u) << "seed " << seed << ": workload never used the lossy link";
+    const std::pair<std::uint32_t, std::uint32_t> other_lanes[] = {
+        {0, 2}, {2, 0}, {1, 2}, {2, 1}};
+    for (const auto& [s, d] : other_lanes) {
+      if (const auto* lane = w.faults->lane_model(s, d)) {
+        EXPECT_EQ(lane->drops(), 0u) << "seed " << seed << " lane " << s << "->" << d;
+        EXPECT_EQ(lane->duplicates(), 0u);
+        EXPECT_EQ(lane->delays(), 0u);
+      }
+    }
+    // Everything landed on the DFS.
+    sim::run_task(w.sim, [](World& world) -> Task<> {
+      dfs::DfsClient probe(world.sim, world.dfs, net::NodeId{90'001});
+      auto listing = co_await probe.readdir(Path::parse("/app"));
+      EXPECT_TRUE(listing.has_value());
+      if (listing) {
+        EXPECT_EQ(listing->size(), 24u);
+      }
+    }(w));
+  }
+}
+
+// Cache node 1 partitioned from the rest of the cluster mid-run, then
+// healed and rejoined: creates keep succeeding throughout (failover), and
+// the partition window provably ate messages.
+TEST(FailureAsym, SingleNodePartitionDegradesAndRejoins) {
+  for (const std::uint64_t seed : ftest::kSuiteSeeds) {
+    World w(3, seed);
+    sim::LinkFaultMatrix& faults = w.link_faults();
+    sim::FaultPlan plan;
+    const std::uint32_t mds = w.dfs.config().mds_node.value;
+    plan.partition(2_ms, {1}, {0, 2, mds});
+    plan.heal_partition(30_ms, {1}, {0, 2, mds});
+    plan.arm(
+        w.sim,
+        [&w](std::uint32_t node, bool down) { w.fabric.set_node_down(net::NodeId{node}, down); },
+        [&faults](std::uint32_t s, std::uint32_t d, bool down) {
+          faults.set_link_down(s, d, down);
+        });
+
+    auto c = w.make_client(0);
+    int created = 0;
+    sim::run_task(w.sim, [](World& world, Pacon& p, int& ok) -> Task<> {
+      for (int i = 0; i < 32; ++i) {
+        auto r = co_await p.create(Path::parse("/app/p" + std::to_string(i)),
+                                   fs::FileMode::file_default());
+        if (r) ++ok;
+        co_await world.sim.delay(500_us);
+      }
+      co_await p.drain();
+      // Past the heal point: let node 1 rejoin the ring and prove the
+      // cluster is whole again.
+      if (world.sim.now() < 31_ms) {
+        co_await world.sim.delay(31_ms - world.sim.now());
+      }
+      p.region().node_recovered(net::NodeId{1});
+      EXPECT_TRUE((co_await p.create(Path::parse("/app/rejoined"),
+                                     fs::FileMode::file_default())).has_value());
+      co_await p.drain();
+    }(w, *c, created));
+    EXPECT_EQ(created, 32) << "seed " << seed << ": partition leaked into app errors";
+    EXPECT_GT(faults.partition_drops(), 0u)
+        << "seed " << seed << ": no message ever hit the partition";
+    EXPECT_GE(c->region().cache().failovers(), 1u) << "seed " << seed;
+    EXPECT_EQ(c->region().pending_commits(), 0u);
+  }
+}
+
+// The commit path's MDS link flaps: commits park and retry through the dark
+// windows, and after the last flap the full workload is durable on the DFS.
+TEST(FailureAsym, FlappingMdsLinkCommitsEventuallyLand) {
+  for (const std::uint64_t seed : ftest::kSuiteSeeds) {
+    World w(3, seed);
+    sim::LinkFaultMatrix& faults = w.link_faults();
+    sim::FaultPlan plan;
+    const std::uint32_t mds = w.dfs.config().mds_node.value;
+    ftest::flap_link(plan, 0, mds, 500_us, 2_ms, 1_ms, 5);
+    ftest::flap_link(plan, mds, 0, 500_us, 2_ms, 1_ms, 5);
+    plan.arm(
+        w.sim, [](std::uint32_t, bool) {},
+        [&faults](std::uint32_t s, std::uint32_t d, bool down) {
+          faults.set_link_down(s, d, down);
+        });
+
+    auto c = w.make_client(0);
+    int created = 0;
+    sim::run_task(w.sim, [](World& world, Pacon& p, int& ok) -> Task<> {
+      for (int i = 0; i < 30; ++i) {
+        auto r = co_await p.create(Path::parse("/app/m" + std::to_string(i)),
+                                   fs::FileMode::file_default());
+        if (r) ++ok;
+        co_await world.sim.delay(200_us);
+      }
+      co_await p.drain();
+      // The whole workload is durable despite the flapping commit link.
+      dfs::DfsClient probe(world.sim, world.dfs, net::NodeId{90'001});
+      auto listing = co_await probe.readdir(Path::parse("/app"));
+      EXPECT_TRUE(listing.has_value());
+      if (listing) {
+        EXPECT_EQ(listing->size(), 30u);
+      }
+    }(w, *c, created));
+    EXPECT_EQ(created, 30) << "seed " << seed;
+    EXPECT_GT(faults.partition_drops(), 0u)
+        << "seed " << seed << ": no commit traffic ever hit a dark window";
+    EXPECT_EQ(c->region().pending_commits(), 0u);
+  }
 }
 
 }  // namespace

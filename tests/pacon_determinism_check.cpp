@@ -208,6 +208,92 @@ std::vector<std::string> run_traced_with_faults(std::uint64_t seed) {
   return trace;
 }
 
+/// Same contract again, but with the *link-targeted* fault topology: a
+/// LinkFaultMatrix carrying a mild global profile plus a lossy override on
+/// node 0's commit link to the MDS, and a FaultPlan that partitions cache
+/// node 2 from the rest of the cluster mid-run, heals it and rejoins it.
+/// `add_unused_link_rule` installs an extra heavy rule on a link no message
+/// ever crosses (97 -> 98): because every link draws verdicts from its own
+/// endpoint-keyed stream, the rule must leave the full event trace
+/// byte-identical -- the acceptance property of per-link targeting, proven
+/// end to end rather than just at the matrix API.
+std::vector<std::string> run_traced_with_link_faults(std::uint64_t seed,
+                                                     bool add_unused_link_rule) {
+  harness::TestBedConfig cfg;
+  cfg.kind = harness::SystemKind::pacon;
+  cfg.client_nodes = kClients;
+  cfg.seed = seed;
+  harness::TestBed bed(cfg);
+
+  sim::MessageFaultConfig mild;
+  mild.drop_prob = 0.005;
+  mild.delay_prob = 0.05;
+  mild.delay_min = 10_us;
+  mild.delay_max = 100_us;
+  sim::LinkFaultMatrix& matrix = bed.link_faults(mild);
+
+  const std::uint32_t mds = bed.dfs().config().mds_node.value;
+  sim::MessageFaultConfig lossy;
+  lossy.drop_prob = 0.10;
+  lossy.delay_prob = 0.20;
+  lossy.delay_min = 20_us;
+  lossy.delay_max = 300_us;
+  matrix.set_link(0, mds, lossy);
+  if (add_unused_link_rule) {
+    sim::MessageFaultConfig heavy;
+    heavy.drop_prob = 0.9;
+    heavy.duplicate_prob = 0.5;
+    matrix.set_link(97, 98, heavy);
+  }
+
+  std::vector<std::string> trace;
+  bed.sim().set_trace_hook([&trace](const sim::Simulation::TraceRecord& r) {
+    trace.push_back(format_record(r));
+  });
+
+  const fs::Credentials creds{1000, 1000};
+  bed.provision_workspace("/w", creds);
+  std::vector<std::unique_ptr<wl::MetaClient>> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.push_back(bed.make_client(static_cast<std::size_t>(i), "/w", creds));
+  }
+  core::ConsistentRegion* region = bed.pacon_region("/w");
+
+  sim::FaultPlan plan;
+  plan.partition(2'000_us, {2}, {0, 1, 3, mds});
+  plan.heal_partition(6'000_us, {2}, {0, 1, 3, mds});
+  plan.call(6'500_us, [region] { region->node_recovered(net::NodeId{2}); });
+  plan.arm(
+      bed.sim(),
+      [&bed](std::uint32_t node, bool down) {
+        bed.fabric().set_node_down(net::NodeId{node}, down);
+      },
+      [&matrix](std::uint32_t s, std::uint32_t d, bool down) {
+        matrix.set_link_down(s, d, down);
+      });
+
+  sim::run_task(bed.sim(), [](harness::TestBed& b,
+                              std::vector<std::unique_ptr<wl::MetaClient>>& cs) -> sim::Task<> {
+    std::vector<sim::Task<>> loops;
+    for (int i = 0; i < kClients; ++i) {
+      loops.push_back(faulted_client_loop(b, *cs[static_cast<std::size_t>(i)], i));
+    }
+    co_await sim::when_all(b.sim(), std::move(loops));
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      auto listing = co_await cs[0]->readdir(fs::Path::parse("/w"));
+      if (listing.has_value()) {
+        b.sim().trace_note("phase linkfault-readdir entries=" +
+                           std::to_string(listing.value().size()));
+        co_return;
+      }
+      co_await b.sim().delay(500_us);
+    }
+    throw std::runtime_error("link-faulted readdir never succeeded");
+  }(bed, clients));
+  bed.sim().set_trace_hook(nullptr);
+  return trace;
+}
+
 /// Prints the first diverging index with surrounding context from both runs.
 ::testing::AssertionResult traces_identical(const std::vector<std::string>& a,
                                             const std::vector<std::string>& b) {
@@ -294,6 +380,33 @@ TEST(PaconDeterminism, FaultedRunDifferentSeedProducesDifferentTrace) {
   const std::vector<std::string> run1 = run_traced_with_faults(42);
   const std::vector<std::string> run2 = run_traced_with_faults(43);
   EXPECT_NE(run1, run2) << "different seeds produced identical faulted traces";
+}
+
+TEST(PaconDeterminism, PartitionedLinkRunSameSeedProducesIdenticalEventTrace) {
+  // Link-targeted faults (per-link lossy override, a mid-run partition of
+  // one cache node, heal + rejoin) are part of the deterministic schedule.
+  const std::vector<std::string> run1 = run_traced_with_link_faults(42, false);
+  const std::vector<std::string> run2 = run_traced_with_link_faults(42, false);
+  EXPECT_TRUE(traces_identical(run1, run2));
+  EXPECT_GT(run1.size(), 1000u);
+  EXPECT_TRUE(any_contains(run1, "phase linkfault-readdir")) << "workload note missing";
+}
+
+TEST(PaconDeterminism, UnusedLinkRuleLeavesTraceByteIdentical) {
+  // The tentpole acceptance property, proven end to end: adding a fault rule
+  // for a link the workload never crosses must not shift a single event in
+  // the run -- per-link verdict streams are keyed by endpoints alone, so no
+  // other link's schedule (and hence no delivery, retry or commit timing)
+  // can move.
+  const std::vector<std::string> baseline = run_traced_with_link_faults(42, false);
+  const std::vector<std::string> with_rule = run_traced_with_link_faults(42, true);
+  EXPECT_TRUE(traces_identical(baseline, with_rule));
+}
+
+TEST(PaconDeterminism, PartitionedLinkRunDifferentSeedProducesDifferentTrace) {
+  const std::vector<std::string> run1 = run_traced_with_link_faults(42, false);
+  const std::vector<std::string> run2 = run_traced_with_link_faults(43, false);
+  EXPECT_NE(run1, run2) << "different seeds produced identical link-faulted traces";
 }
 
 TEST(PaconDeterminism, DifferentSeedProducesDifferentTrace) {
