@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# pacon-analyze driver: the mandatory static-analysis gate (DESIGN.md
+# section 12). Builds the analyzer from source into build-analyze/ (cached;
+# rebuilt only when src/analyze or tools/analyze change) and runs it over the
+# tree, so the gate works even where no CMake tree has been configured and no
+# LLVM is installed.
+#
+# Usage: scripts/analyze.sh [pacon-analyze flags...]
+#   scripts/analyze.sh                    gate: exit 1 on unbaselined findings
+#   scripts/analyze.sh --write-baseline   refresh scripts/analyze_baseline.txt
+#   scripts/analyze.sh --list-rules       print the rule catalog
+#   scripts/analyze.sh --json out.json    machine-readable report
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cache="$root/build-analyze"
+bin="$cache/pacon-analyze"
+
+srcs=("$root"/src/analyze/*.cpp "$root/tools/analyze/main.cpp")
+deps=("${srcs[@]}" "$root"/src/analyze/*.h)
+
+rebuild=0
+if [[ ! -x "$bin" ]]; then
+  rebuild=1
+else
+  for f in "${deps[@]}"; do
+    if [[ "$f" -nt "$bin" ]]; then
+      rebuild=1
+      break
+    fi
+  done
+fi
+if [[ "$rebuild" == 1 ]]; then
+  mkdir -p "$cache"
+  cxx="${CXX:-c++}"
+  echo "analyze: building pacon-analyze with $cxx" >&2
+  "$cxx" -std=c++20 -O2 -I"$root/src" "${srcs[@]}" -o "$bin"
+fi
+
+exec "$bin" --root "$root" "$@"

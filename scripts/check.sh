@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full correctness gate: sim-rules lint, markdown link check, clang-tidy
+# Full correctness gate: pacon-analyze (the mandatory static-analysis pass,
+# scripts/analyze.sh), markdown link check, clang-tidy
 # (when available), then the sanitizer matrix -- ASan+UBSan and TSan builds with -Werror and the
 # coroutine-lifetime detector compiled in, each running the entire ctest
 # suite (including the coroutine-detector unit tests and the determinism
@@ -34,8 +35,13 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-echo "==== [1/5] sim-rules lint ===================================================="
-"$root/scripts/lint_sim_rules.sh" "$root"
+echo "==== [1/5] pacon-analyze ====================================================="
+# The mandatory static-analysis gate (DESIGN.md section 12): determinism,
+# coroutine-lifetime, and hygiene rules over src/tests/bench/examples/tools,
+# held to scripts/analyze_baseline.txt. Runs first because it is the
+# cheapest gate and catches whole bug classes the sanitizers only hit with
+# the right schedule.
+"$root/scripts/analyze.sh"
 
 echo "==== [2/5] markdown links ===================================================="
 "$root/scripts/check_markdown.sh" "$root"
@@ -88,4 +94,4 @@ if [[ "$perf" == 1 ]]; then
   "$root/scripts/perfbench.sh" --build-dir "$root/build-perf"
 fi
 
-echo "check.sh: all gates passed (lint, markdown, tidy, sanitizer matrix: ${modes[*]}, trace$([[ "$perf" == 1 ]] && echo ', perf'))"
+echo "check.sh: all gates passed (analyze, markdown, tidy, sanitizer matrix: ${modes[*]}, trace$([[ "$perf" == 1 ]] && echo ', perf'))"

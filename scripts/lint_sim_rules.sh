@@ -1,60 +1,15 @@
 #!/usr/bin/env bash
-# Determinism lint for the simulation kernel and the core commit path.
+# Deprecated shim, kept for muscle memory and old CI configs.
 #
-# src/sim and src/core must stay single-threaded and virtual-time only: any
-# OS thread, OS lock, wall clock, or libc RNG smuggled in there silently
-# breaks reproducibility (two same-seed runs diverging). This grep-level
-# gate rejects the usual suspects outright; `//` comments are ignored, and a
-# legitimate exception can be exempted with a trailing
-# `// lint-allow: sim-rules <why>` comment on the offending line.
+# The grep-based sim-rules lint that lived here grew into pacon-analyze
+# (scripts/analyze.sh, DESIGN.md section 12): a real lexer-based analyzer
+# covering the same seven determinism patterns -- strictly, without the
+# string/comment false positives -- plus unordered-iteration, pointer-keyed
+# containers, coroutine-lifetime, and metric-hygiene rules. Existing
+# `// lint-allow: sim-rules <why>` exemption comments keep working as a
+# blanket alias for the whole sim-* rule family.
 #
-# Usage: scripts/lint_sim_rules.sh [repo-root]
-set -u -o pipefail
-
-root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
-dirs=("$root/src/sim" "$root/src/core")
-
-# Pattern -> human explanation. Patterns are extended regexes over single
-# comment-stripped lines of source.
-patterns=(
-  'std::thread|std::jthread'
-  'std::mutex|std::shared_mutex|std::recursive_mutex|std::condition_variable'
-  '(^|[^_[:alnum:]])s?rand[[:space:]]*\('
-  '(^|[^_[:alnum:].])time[[:space:]]*\('
-  'std::chrono::system_clock|std::chrono::steady_clock|std::chrono::high_resolution_clock'
-  'gettimeofday|clock_gettime'
-  'std::random_device'
-)
-reasons=(
-  "OS threads: the kernel is cooperatively scheduled and single-threaded"
-  "OS locks: use sim::Mutex/Semaphore, which wake through the event queue"
-  "libc rand()/srand(): use sim::Rng streams forked from the run seed"
-  "wall-clock time(): use Simulation::now() virtual time"
-  "std::chrono clocks: use SimTime/SimDuration virtual time"
-  "raw OS clock syscalls: use Simulation::now() virtual time"
-  "std::random_device is nondeterministic: fork a sim::Rng stream"
-)
-
-status=0
-while IFS= read -r file; do
-  for i in "${!patterns[@]}"; do
-    # Strip // comments (good enough for this codebase: no // inside string
-    # literals on flagged constructs), keep line numbers, honour lint-allow.
-    hits=$(sed 's|//.*||' "$file" | grep -nE "${patterns[$i]}" || true)
-    allow=$(grep -nE 'lint-allow: sim-rules' "$file" | cut -d: -f1 || true)
-    if [[ -n "$hits" && -n "$allow" ]]; then
-      hits=$(echo "$hits" | grep -vE "^($(echo "$allow" | paste -sd'|' -)):" || true)
-    fi
-    if [[ -n "$hits" ]]; then
-      echo "sim-rules lint: forbidden construct in $file (${reasons[$i]}):" >&2
-      echo "$hits" | sed "s|^|$file:|" >&2
-      echo >&2
-      status=1
-    fi
-  done
-done < <(find "${dirs[@]}" -name '*.h' -o -name '*.cpp' | sort)
-
-if [[ $status -eq 0 ]]; then
-  echo "sim-rules lint: OK (src/sim and src/core are free of threads, OS locks, wall clocks, and libc RNG)"
-fi
-exit $status
+# Usage: scripts/lint_sim_rules.sh [repo-root]   (argument ignored; the
+# analyzer always runs over the repo this script lives in)
+set -euo pipefail
+exec "$(cd "$(dirname "$0")" && pwd)/analyze.sh"

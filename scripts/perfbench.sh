@@ -41,6 +41,17 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
+# Tracked numbers are only meaningful for source states that pass the
+# mandatory static-analysis gate: refuse to record a BENCH entry from a tree
+# with unbaselined pacon-analyze findings.
+echo "perfbench: static-analysis gate (scripts/analyze.sh)"
+if ! "$root/scripts/analyze.sh" -q; then
+  echo "perfbench: FATAL: pacon-analyze reports unbaselined findings; fix them," >&2
+  echo "perfbench: lint-allow them with a reason, or refresh the accepted baseline" >&2
+  echo "perfbench: (scripts/analyze.sh --write-baseline) before recording numbers." >&2
+  exit 1
+fi
+
 # A sanitizer build tree would poison the tracked numbers with 2-20x
 # instrumentation overhead; refuse loudly rather than record garbage.
 if [[ -f "$build/CMakeCache.txt" ]]; then

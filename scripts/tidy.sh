@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # clang-tidy runner for the statically-analysed subset (src/core, src/sim,
-# src/debug), using the checks in .clang-tidy.
+# src/debug, src/net, src/kv, src/obs), using the checks in .clang-tidy.
 #
 # The CI container does not always ship clang-tidy; in that case this script
-# prints a notice and exits 0 so scripts/check.sh stays green (the sanitizer
-# matrix and the sim-rules lint still gate the build). Run it locally from a
+# prints a notice and exits 0 so scripts/check.sh stays green: clang-tidy is
+# best-effort depth on top of the mandatory pacon-analyze gate
+# (scripts/analyze.sh), which runs everywhere. Run it locally from a
 # machine with LLVM installed for the full profile.
 #
 # Usage: scripts/tidy.sh [build-dir]
@@ -32,7 +33,8 @@ if [[ ! -f "$build/compile_commands.json" ]]; then
   cmake -B "$build" -S "$root" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 fi
 
-files=$(find "$root/src/core" "$root/src/sim" "$root/src/debug" -name '*.cpp' | sort)
+files=$(find "$root/src/core" "$root/src/sim" "$root/src/debug" \
+  "$root/src/net" "$root/src/kv" "$root/src/obs" -name '*.cpp' | sort)
 echo "tidy: running $tidy_bin over:"
 echo "$files" | sed 's/^/  /'
 # shellcheck disable=SC2086

@@ -1,0 +1,66 @@
+#include "analyze/baseline.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace pacon::analyze {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+}  // namespace
+
+std::string Baseline::key(const Finding& f) {
+  return f.rule + "\t" + f.file + "\t" + trim(f.snippet);
+}
+
+bool Baseline::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    ++entries_[line];
+    ++total_;
+  }
+  return true;
+}
+
+std::string Baseline::serialize(const std::vector<Finding>& findings) {
+  std::vector<std::string> keys;
+  keys.reserve(findings.size());
+  for (const Finding& f : findings) keys.push_back(key(f));
+  std::sort(keys.begin(), keys.end());
+  std::ostringstream out;
+  out << "# pacon-analyze baseline: accepted findings, one per line as\n"
+         "#   rule-id<TAB>file<TAB>trimmed source line\n"
+         "# Keyed on line content (not numbers) so surrounding edits do not\n"
+         "# churn this file. Regenerate: scripts/analyze.sh --write-baseline\n";
+  for (const std::string& k : keys) out << k << "\n";
+  return out.str();
+}
+
+bool Baseline::consume(const Finding& f) {
+  auto it = entries_.find(key(f));
+  if (it == entries_.end() || it->second == 0) return false;
+  --it->second;
+  return true;
+}
+
+std::vector<std::string> Baseline::remaining() const {
+  std::vector<std::string> out;
+  for (const auto& [k, n] : entries_) {
+    for (int i = 0; i < n; ++i) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace pacon::analyze

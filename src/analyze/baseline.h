@@ -1,0 +1,42 @@
+// Accepted-findings baseline for pacon-analyze.
+//
+// Format: one entry per line, `rule-id<TAB>file<TAB>trimmed source line`,
+// '#' comments and blank lines ignored. Entries are keyed on line *content*
+// rather than line numbers, so unrelated edits above a finding do not churn
+// the file; duplicate lines act as a multiset (N identical entries absorb N
+// identical findings). Regenerate with `scripts/analyze.sh --write-baseline`.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+
+namespace pacon::analyze {
+
+class Baseline {
+ public:
+  /// Loads `path`. Returns false (empty baseline) when unreadable.
+  bool load(const std::string& path);
+
+  /// Serializes `findings` in baseline format, sorted and deduplicated into
+  /// counted identical lines.
+  static std::string serialize(const std::vector<Finding>& findings);
+
+  /// True (and consumes one entry) when `f` matches the baseline.
+  bool consume(const Finding& f);
+
+  /// Entries never consumed: evidence of fixed-but-unpruned baselines.
+  std::vector<std::string> remaining() const;
+
+  std::size_t size() const { return total_; }
+
+ private:
+  static std::string key(const Finding& f);
+
+  std::map<std::string, int> entries_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace pacon::analyze

@@ -1,0 +1,248 @@
+#include "analyze/token.h"
+
+#include <cctype>
+
+namespace pacon::analyze {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// True when `prefix` is a string-literal encoding prefix (R, u8, uR, ...).
+bool string_prefix(std::string_view s) {
+  return s == "R" || s == "u8" || s == "u" || s == "U" || s == "L" || s == "u8R" || s == "uR" ||
+         s == "UR" || s == "LR";
+}
+
+/// Extracts rule ids from a comment containing `lint-allow:`. The first
+/// whitespace-delimited field after the colon is a comma-separated id list;
+/// the rest of the comment is the human rationale.
+std::vector<std::string> parse_allow_ids(std::string_view comment) {
+  std::vector<std::string> ids;
+  const std::size_t at = comment.find("lint-allow:");
+  if (at == std::string_view::npos) return ids;
+  std::size_t i = at + std::string_view("lint-allow:").size();
+  while (i < comment.size() && (comment[i] == ' ' || comment[i] == '\t')) ++i;
+  std::size_t end = i;
+  while (end < comment.size() && !std::isspace(static_cast<unsigned char>(comment[end])) &&
+         comment[end] != '*')
+    ++end;
+  std::string_view field = comment.substr(i, end - i);
+  while (!field.empty()) {
+    const std::size_t comma = field.find(',');
+    std::string_view id = field.substr(0, comma);
+    if (!id.empty()) ids.emplace_back(id);
+    if (comma == std::string_view::npos) break;
+    field.remove_prefix(comma + 1);
+  }
+  return ids;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexResult run() {
+    while (i_ < src_.size()) step();
+    // A trailing full-line allow with no code after it governs nothing;
+    // anchor it to its own line so it at least round-trips visibly.
+    for (auto& p : pending_allows_) out_.allows.push_back({p.line, std::move(p.ids)});
+    return std::move(out_);
+  }
+
+ private:
+  struct PendingAllow {
+    std::uint32_t line;
+    std::vector<std::string> ids;
+  };
+
+  char cur() const { return src_[i_]; }
+  char peek(std::size_t n = 1) const { return i_ + n < src_.size() ? src_[i_ + n] : '\0'; }
+  bool line_has_code() const { return !out_.tokens.empty() && out_.tokens.back().line == line_; }
+
+  void emit(Tok kind, std::size_t begin) {
+    out_.tokens.push_back({kind, src_.substr(begin, i_ - begin), begin_line_});
+    for (auto& p : pending_allows_) out_.allows.push_back({begin_line_, std::move(p.ids)});
+    pending_allows_.clear();
+  }
+
+  void newline() { ++line_; }
+
+  void comment_seen(std::string_view text, std::uint32_t start_line, bool code_before) {
+    std::vector<std::string> ids = parse_allow_ids(text);
+    if (ids.empty()) return;
+    if (code_before) {
+      out_.allows.push_back({start_line, std::move(ids)});
+    } else {
+      pending_allows_.push_back({start_line, std::move(ids)});
+    }
+  }
+
+  void step() {
+    const char c = cur();
+    if (c == '\n') {
+      newline();
+      ++i_;
+      return;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i_;
+      return;
+    }
+    begin_line_ = line_;
+    if (c == '/' && peek() == '/') return line_comment();
+    if (c == '/' && peek() == '*') return block_comment();
+    if (c == '#' && !line_has_code()) return preprocessor_line();
+    if (ident_start(c)) return identifier();
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek()))))
+      return number();
+    if (c == '"') return string_literal(i_);
+    if (c == '\'') return char_literal();
+    return punct();
+  }
+
+  void line_comment() {
+    const bool code_before = line_has_code();
+    const std::uint32_t start_line = line_;
+    const std::size_t begin = i_;
+    while (i_ < src_.size() && cur() != '\n') ++i_;
+    comment_seen(src_.substr(begin, i_ - begin), start_line, code_before);
+  }
+
+  void block_comment() {
+    const bool code_before = line_has_code();
+    const std::uint32_t start_line = line_;
+    const std::size_t begin = i_;
+    i_ += 2;
+    while (i_ < src_.size() && !(cur() == '*' && peek() == '/')) {
+      if (cur() == '\n') newline();
+      ++i_;
+    }
+    if (i_ < src_.size()) i_ += 2;
+    comment_seen(src_.substr(begin, i_ - begin), start_line, code_before);
+  }
+
+  void preprocessor_line() {
+    // Whole logical line (backslash continuations included) vanishes: rules
+    // never see macro bodies or #include targets.
+    while (i_ < src_.size()) {
+      if (cur() == '\\' && (peek() == '\n' || (peek() == '\r' && peek(2) == '\n'))) {
+        i_ += (peek() == '\r') ? 3 : 2;
+        newline();
+        continue;
+      }
+      if (cur() == '\n') break;  // newline handled by step()
+      // Comments inside directives still count for lint-allow and may hold
+      // newlines (block form); strings may hold a '//'.
+      if (cur() == '/' && peek() == '/') {
+        line_comment();
+        continue;
+      }
+      if (cur() == '/' && peek() == '*') {
+        block_comment();
+        continue;
+      }
+      ++i_;
+    }
+  }
+
+  void identifier() {
+    const std::size_t begin = i_;
+    while (i_ < src_.size() && ident_char(cur())) ++i_;
+    const std::string_view text = src_.substr(begin, i_ - begin);
+    if (i_ < src_.size() && cur() == '"' && string_prefix(text)) {
+      if (text.back() == 'R') return raw_string(begin);
+      return string_literal(begin);
+    }
+    if (i_ < src_.size() && cur() == '\'' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      return char_literal_from(begin);  // prefixed char literal
+    }
+    emit(Tok::ident, begin);
+  }
+
+  void number() {
+    const std::size_t begin = i_;
+    while (i_ < src_.size()) {
+      const char c = cur();
+      if (ident_char(c) || c == '.' || c == '\'') {
+        ++i_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && i_ > begin) {
+        const char prev = src_[i_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++i_;
+          continue;
+        }
+      }
+      break;
+    }
+    emit(Tok::number, begin);
+  }
+
+  void string_literal(std::size_t begin) {
+    ++i_;  // opening quote
+    while (i_ < src_.size() && cur() != '"' && cur() != '\n') {
+      if (cur() == '\\' && i_ + 1 < src_.size()) ++i_;
+      ++i_;
+    }
+    if (i_ < src_.size() && cur() == '"') ++i_;
+    emit(Tok::str, begin);
+  }
+
+  void raw_string(std::size_t begin) {
+    ++i_;  // opening quote
+    const std::size_t dbegin = i_;
+    while (i_ < src_.size() && cur() != '(' && cur() != '\n') ++i_;
+    const std::string_view delim = src_.substr(dbegin, i_ - dbegin);
+    const std::string close = ")" + std::string(delim) + "\"";
+    const std::size_t end = src_.find(close, i_);
+    const std::size_t stop = (end == std::string_view::npos) ? src_.size() : end + close.size();
+    while (i_ < stop) {
+      if (cur() == '\n') newline();
+      ++i_;
+    }
+    emit(Tok::str, begin);
+  }
+
+  void char_literal() { char_literal_from(i_); }
+
+  void char_literal_from(std::size_t begin) {
+    ++i_;  // opening quote
+    while (i_ < src_.size() && cur() != '\'' && cur() != '\n') {
+      if (cur() == '\\' && i_ + 1 < src_.size()) ++i_;
+      ++i_;
+    }
+    if (i_ < src_.size() && cur() == '\'') ++i_;
+    emit(Tok::chr, begin);
+  }
+
+  void punct() {
+    const std::size_t begin = i_;
+    const char c = cur();
+    // The combinations the rules rely on; every other operator is one char
+    // (notably '>' stays single so template-depth tracking survives '>>').
+    if ((c == ':' && peek() == ':') || (c == '-' && peek() == '>') || (c == '&' && peek() == '&')) {
+      i_ += 2;
+    } else {
+      ++i_;
+    }
+    emit(Tok::punct, begin);
+  }
+
+  std::string_view src_;
+  std::size_t i_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t begin_line_ = 1;
+  std::vector<PendingAllow> pending_allows_;
+  LexResult out_;
+};
+
+}  // namespace
+
+LexResult lex(std::string_view content) { return Lexer(content).run(); }
+
+}  // namespace pacon::analyze

@@ -1,0 +1,145 @@
+#include "analyze/structure.h"
+
+namespace pacon::analyze::structure {
+
+namespace {
+
+bool is_open(const Token& t) {
+  return t.kind == Tok::punct && (t.text == "(" || t.text == "{" || t.text == "[");
+}
+
+std::string_view closer_for(std::string_view open) {
+  if (open == "(") return ")";
+  if (open == "{") return "}";
+  return "]";
+}
+
+}  // namespace
+
+std::size_t match_close(const std::vector<Token>& ts, std::size_t open) {
+  if (open >= ts.size() || !is_open(ts[open])) return npos;
+  std::vector<std::string_view> stack;
+  stack.push_back(closer_for(ts[open].text));
+  for (std::size_t i = open + 1; i < ts.size(); ++i) {
+    const Token& t = ts[i];
+    if (t.kind != Tok::punct) continue;
+    if (is_open(t)) {
+      stack.push_back(closer_for(t.text));
+    } else if (t.text == ")" || t.text == "}" || t.text == "]") {
+      // Tolerate mismatched nesting (macro halves, lexer edge cases): pop to
+      // the nearest matching opener instead of giving up.
+      while (!stack.empty() && stack.back() != t.text) stack.pop_back();
+      if (stack.empty()) return npos;
+      stack.pop_back();
+      if (stack.empty()) return i;
+    }
+  }
+  return npos;
+}
+
+std::size_t skip_template(const std::vector<Token>& ts, std::size_t lt) {
+  if (lt >= ts.size() || !ts[lt].is_punct("<")) return npos;
+  std::size_t depth = 1;
+  const std::size_t limit = std::min(ts.size(), lt + 400);
+  for (std::size_t i = lt + 1; i < limit; ++i) {
+    const Token& t = ts[i];
+    if (t.kind != Tok::punct) continue;
+    if (t.text == "<") {
+      ++depth;
+    } else if (t.text == ">") {
+      if (--depth == 0) return i;
+    } else if (t.text == "(" || t.text == "[" || t.text == "{") {
+      const std::size_t c = match_close(ts, i);
+      if (c == npos) return npos;
+      i = c;
+    } else if (t.text == ";" || t.text == "}" || t.text == ")") {
+      return npos;  // statement ended: this '<' was a comparison
+    }
+  }
+  return npos;
+}
+
+std::vector<CoroSig> collect_coro_sigs(const std::vector<Token>& ts) {
+  std::vector<CoroSig> sigs;
+  for (std::size_t i = 0; i + 2 < ts.size(); ++i) {
+    if (!ts[i].is_ident("Task")) continue;
+    if (!ts[i + 1].is_punct("<")) continue;
+    const std::size_t gt = skip_template(ts, i + 1);
+    if (gt == npos) continue;
+    // Optionally qualified function name directly after the return type:
+    //   Task<...> name(        Task<...> Class::name(
+    std::size_t j = gt + 1;
+    while (j + 2 < ts.size() && ts[j].kind == Tok::ident && ts[j + 1].is_punct("::") &&
+           ts[j + 2].kind == Tok::ident)
+      j += 2;
+    if (j >= ts.size() || ts[j].kind != Tok::ident) continue;
+    if (j + 1 >= ts.size() || !ts[j + 1].is_punct("(")) continue;
+    const std::size_t rp = match_close(ts, j + 1);
+    if (rp == npos) continue;
+    sigs.push_back({ts[j].text, j + 1, rp});
+  }
+  return sigs;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> loop_bodies(const std::vector<Token>& ts) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    std::size_t body = npos;
+    if ((ts[i].is_ident("for") || ts[i].is_ident("while")) && ts[i + 1].is_punct("(")) {
+      const std::size_t close = match_close(ts, i + 1);
+      if (close == npos || close + 1 >= ts.size()) continue;
+      body = close + 1;
+    } else if (ts[i].is_ident("do") && ts[i + 1].is_punct("{")) {
+      body = i + 1;
+    } else {
+      continue;
+    }
+    if (ts[body].is_punct("{")) {
+      const std::size_t end = match_close(ts, body);
+      if (end != npos) out.emplace_back(body, end);
+      continue;
+    }
+    // Single-statement body: up to the terminating ';' at this level.
+    std::size_t j = body;
+    while (j < ts.size()) {
+      if (is_open(ts[j])) {
+        const std::size_t c = match_close(ts, j);
+        if (c == npos) break;
+        j = c + 1;
+        continue;
+      }
+      if (ts[j].is_punct(";")) break;
+      ++j;
+    }
+    if (j < ts.size()) out.emplace_back(body, j);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> split_args(const std::vector<Token>& ts,
+                                                            std::size_t lparen,
+                                                            std::size_t rparen) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  std::size_t begin = lparen + 1;
+  for (std::size_t i = lparen + 1; i < rparen && i < ts.size(); ++i) {
+    const Token& t = ts[i];
+    if (t.kind != Tok::punct) continue;
+    if (t.text == "(" || t.text == "[" || t.text == "{") {
+      const std::size_t c = match_close(ts, i);
+      if (c == npos || c >= rparen) break;
+      i = c;
+    } else if (t.text == "<") {
+      // Only honour '<' as nesting when it closes like a template; compare
+      // operators in argument expressions must not swallow commas.
+      const std::size_t gt = skip_template(ts, i);
+      if (gt != npos && gt < rparen) i = gt;
+    } else if (t.text == "," ) {
+      if (i > begin) out.emplace_back(begin, i);
+      begin = i + 1;
+    }
+  }
+  if (rparen > begin) out.emplace_back(begin, rparen);
+  return out;
+}
+
+}  // namespace pacon::analyze::structure

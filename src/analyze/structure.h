@@ -1,0 +1,47 @@
+// Lightweight structural pass over the token stream: delimiter matching,
+// template-argument skipping, coroutine-signature and loop-body extraction.
+// No scope resolution, no types -- just enough shape for the rules in
+// rules.cpp to anchor on, with heuristics pinned by the fixture corpus.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "analyze/token.h"
+
+namespace pacon::analyze::structure {
+
+inline constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+/// Index of the delimiter matching the opener at `open` ('(', '{' or '['),
+/// or npos. Tracks all three bracket kinds while scanning.
+std::size_t match_close(const std::vector<Token>& ts, std::size_t open);
+
+/// `lt` indexes a '<'. Returns the index of the matching '>' when the span
+/// plausibly forms a template argument list, npos when it reads like a
+/// comparison instead (hits ';' or '{', unbalanced parens, or runs too far).
+std::size_t skip_template(const std::vector<Token>& ts, std::size_t lt);
+
+/// A function declared or defined to return (sim::)Task<...>; every such
+/// function is a coroutine candidate and its parameters cross suspension
+/// points.
+struct CoroSig {
+  std::string_view name;  // unqualified function name
+  std::size_t lparen = 0;  // '(' of the parameter list
+  std::size_t rparen = 0;  // matching ')'
+};
+
+std::vector<CoroSig> collect_coro_sigs(const std::vector<Token>& ts);
+
+/// Token-index intervals [begin, end] covering loop bodies (for / while /
+/// do, braced or single-statement), used by the hot-loop rules.
+std::vector<std::pair<std::size_t, std::size_t>> loop_bodies(const std::vector<Token>& ts);
+
+/// Splits the range (lparen, rparen) -- exclusive bounds -- at depth-0
+/// commas. Returns [begin, end) token ranges; empty ranges are dropped.
+std::vector<std::pair<std::size_t, std::size_t>> split_args(const std::vector<Token>& ts,
+                                                            std::size_t lparen,
+                                                            std::size_t rparen);
+
+}  // namespace pacon::analyze::structure

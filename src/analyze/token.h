@@ -1,0 +1,53 @@
+// Token model for pacon-analyze (see analyzer.h for the tool overview).
+//
+// The lexer reduces C++ source to the four token classes the rules care
+// about; everything a grep-based gate gets wrong -- comments, string/char
+// literals, raw strings, preprocessor lines -- is consumed here so no rule
+// ever has to reason about them again.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pacon::analyze {
+
+enum class Tok : std::uint8_t {
+  ident,   // identifiers and keywords (for, while, co_await, ...)
+  number,  // numeric literals, loosely scanned (suffixes/exponents included)
+  str,     // string literal, including raw strings and encoding prefixes
+  chr,     // character literal
+  punct,   // one operator/punctuator; '::', '->' and '&&' arrive combined
+};
+
+struct Token {
+  Tok kind = Tok::punct;
+  std::string_view text;  // view into the owning SourceFile's content
+  std::uint32_t line = 0;  // 1-based
+
+  bool is(Tok k, std::string_view s) const { return kind == k && text == s; }
+  bool is_ident(std::string_view s) const { return is(Tok::ident, s); }
+  bool is_punct(std::string_view s) const { return is(Tok::punct, s); }
+};
+
+/// One `// lint-allow: <rule-id>[,<rule-id>...] <why>` comment, resolved to
+/// the line of code it governs: the comment's own line when code precedes it
+/// (trailing comment), otherwise the line of the next token (a full-line
+/// comment above the offending statement).
+struct AllowDirective {
+  std::uint32_t target_line = 0;
+  std::vector<std::string> rules;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<AllowDirective> allows;
+};
+
+/// Tokenizes `content`. Never fails: malformed input (unterminated literals,
+/// stray bytes) degrades to best-effort tokens rather than an error, since
+/// the analyzer must keep scanning whatever the tree contains.
+LexResult lex(std::string_view content);
+
+}  // namespace pacon::analyze

@@ -90,6 +90,7 @@ ConsistentRegion::ConsistentRegion(sim::Simulation& sim, net::Fabric& fabric,
     state->wal_disk = std::make_unique<sim::SimDisk>(sim_, sim::DiskConfig::nvme());
     state->wal = std::make_unique<CommitWal>(sim_, *state->wal_disk, config_.wal_flush_period);
     state->wal->set_backlog_gauge(
+        // lint-allow: metric-hot-loop once-per-node at region construction, not a hot path
         &scope.scoped("n" + std::to_string(node.value)).gauge("wal_backlog"));
     node_states_.push_back(std::move(state));
     sim_.spawn(sorter_loop(*node_states_.back()));

@@ -237,8 +237,7 @@ sim::Task<> LsmStore::compact_level(std::size_t level) {
   ++compactions_;
 }
 
-sim::Task<> LsmStore::charge_block_read(const SsTable& table, std::string_view key) {
-  const std::uint64_t block = table.block_of(key, config_.block_bytes);
+sim::Task<> LsmStore::charge_block_read(const SsTable& table, std::uint64_t block) {
   const std::uint64_t cache_key = mix64(table.id() * 0x9E3779B97F4A7C15ull + block);
   if (auto it = cache_index_.find(cache_key); it != cache_index_.end()) {
     cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
@@ -260,7 +259,7 @@ sim::Task<> LsmStore::charge_block_read(const SsTable& table, std::string_view k
 sim::Task<std::optional<std::optional<std::string>>> LsmStore::probe_table(
     const SsTable& table, const std::string& key) {
   if (!table.may_contain(key)) co_return std::nullopt;
-  co_await charge_block_read(table, key);
+  co_await charge_block_read(table, table.block_of(key, config_.block_bytes));
   co_return table.find(key);
 }
 
@@ -324,7 +323,7 @@ sim::Task<std::vector<std::pair<std::string, std::string>>> LsmStore::scan_prefi
       acc.emplace(it->first, it->second);
       touched = true;
     }
-    if (touched) co_await charge_block_read(*table, prefix);
+    if (touched) co_await charge_block_read(*table, table->block_of(prefix, config_.block_bytes));
   }
   std::vector<std::pair<std::string, std::string>> out;
   for (auto& [key, value] : acc) {

@@ -145,7 +145,10 @@ class LsmStore {
   sim::Task<> flush_oldest_immutable();
   sim::Task<> maybe_compact();
   sim::Task<> compact_level(std::size_t level);
-  sim::Task<> charge_block_read(const SsTable& table, std::string_view key);
+  // Takes the block number rather than a key view: a lazily-started Task
+  // must not hold a view whose buffer can die before the await
+  // (pacon-analyze: coro-param-view).
+  sim::Task<> charge_block_read(const SsTable& table, std::uint64_t block);
 
   /// Probes one table; returns the entry if conclusive.
   sim::Task<std::optional<std::optional<std::string>>> probe_table(const SsTable& table,

@@ -46,6 +46,7 @@ struct KernelEvent {
   void* handle_address() const { return reinterpret_cast<void*>(payload); }
 
   static std::uintptr_t encode_handle(void* address) {
+    // lint-allow: sim-reinterpret-coro round-trips the address of a live frame; never relocates it
     const auto p = reinterpret_cast<std::uintptr_t>(address);
     assert((p & 1u) == 0 && "coroutine frames are at least 2-byte aligned");
     return p;

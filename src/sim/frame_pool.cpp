@@ -55,6 +55,7 @@ Pool& pool() {
 }
 
 std::uint32_t* block_header(void* frame) {
+  // lint-allow: sim-reinterpret-coro reads the pool's own size header in front of the frame
   return reinterpret_cast<std::uint32_t*>(static_cast<unsigned char*>(frame) - kHeaderBytes);
 }
 

@@ -1,0 +1,37 @@
+// Fixture: the bad half of the coroutine-lifetime and hygiene rules (app
+// zone). Each annotated line must produce exactly the expected finding.
+// This file is never compiled.
+#pragma once
+
+namespace fixture {
+
+sim::Task<std::string> lookup_meta(std::string_view key);  // expect: coro-param-view
+
+sim::Task<> describe(const char* name);  // expect: coro-param-view
+
+sim::Task<> write_back(const std::string& value);  // expect: coro-param-ref
+
+template <typename F>
+sim::Task<bool> retry_rpc(F op);
+
+inline void kick_off(std::string payload) {
+  retry_rpc([payload] { return send_once(payload); });  // expect: coro-temp-lambda
+}
+
+inline sim::Task<int> drain_counts() {
+  int n = co_await Connection("peer").recv_count();  // expect: coro-await-temp
+  co_return n;
+}
+
+inline void fire_and_forget(sim::Task<> t) {
+  void* handle = t.release_detached();  // expect: coro-detach-tag
+  keep(handle);
+}
+
+inline void pump_metrics(MetricScope& scope) {
+  for (int i = 0; i < 64; ++i) {
+    scope.counter("ops").add(1);  // expect: metric-hot-loop
+  }
+}
+
+}  // namespace fixture

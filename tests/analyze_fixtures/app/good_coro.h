@@ -1,0 +1,45 @@
+// Fixture: the good twins of the coroutine-lifetime and hygiene rules, plus
+// the zone-scoping checks (this file classifies as app zone). The analyzer
+// must stay completely silent on this file.
+#pragma once
+
+namespace fixture {
+
+sim::Task<std::string> lookup_owned(std::string key);  // owning value: safe
+
+sim::Task<> pace(sim::Simulation& sim);  // exempt long-lived service
+
+sim::Task<> observe(MetricRegistry& registry, sim::Rng& rng);  // exempt services
+
+inline void kick_off_safe(std::string payload) {
+  auto op = [payload] { return send_once(payload); };
+  retry_rpc(op);                                         // named closure: safe
+  retry_rpc([&payload] { return send_once(payload); });  // reference captures: safe
+  log_sync([payload] { return payload.size(); });        // not a coroutine: safe
+}
+
+inline sim::Task<int> drain_counts_safe(Connection conn) {
+  int n = co_await conn.recv_count();  // named local, not a temporary
+  co_return n;
+}
+
+inline void fire_tagged(sim::Task<> t) {
+  debug::coro_tag("fixture.fire_tagged");
+  void* handle = t.release_detached();
+  keep(handle);
+}
+
+inline void pump_metrics_resolved(MetricScope& scope) {
+  auto& ops = scope.counter("ops");
+  for (int i = 0; i < 64; ++i) {
+    ops.add(1);
+  }
+}
+
+// Zone scoping: OS threads and unordered iteration are kernel-zone concerns;
+// neither rule patrols app-zone harness code like this.
+inline void join_all(std::vector<std::thread>& pool) {
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace fixture

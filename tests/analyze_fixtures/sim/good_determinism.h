@@ -1,0 +1,50 @@
+// Fixture: the good twins (kernel zone). Every line here resembles something
+// the retired sed/grep gate misfired on -- rule names inside strings,
+// comments, and preprocessor lines; member functions and foreign namespaces
+// that merely reuse a flagged name; ordered iteration next to scheduling
+// calls. The analyzer must stay completely silent on this file.
+#pragma once
+
+namespace fixture {
+
+// std::thread, std::mutex, rand(), time(NULL): rule names in a comment.
+inline const char* kAdvice = "never call time() or rand() after std::thread start";
+inline const char* kScript = R"(flock lock; clock_gettime; std::mutex m; srand(7);)";
+inline char kTick = 't';
+
+#define FIXTURE_STAMP() time(nullptr)
+#define FIXTURE_SEED() \
+  std::random_device {}
+
+// Members and free functions that reuse flagged names are declarations and
+// member calls, not libc calls.
+struct Clock {
+  long time(long t) const { return t; }
+  int clock() const { return 0; }
+};
+
+inline long sim_time(long v) { return v; }
+
+inline long virtual_stamp(const Clock& c) { return c.time(sim_time(3)) + c.clock(); }
+
+namespace fastrand {
+inline int rand(int bound) { return bound; }
+}
+inline int draw_bounded() { return fastrand::rand(7); }
+
+// Ordered iteration in a scheduling file is fine; so is an unordered map
+// that is only probed, never iterated.
+inline void flush_ordered(std::map<int, int>& pending, std::unordered_map<int, int>& cache) {
+  for (const auto& [id, val] : pending) {
+    publish(id, val);
+  }
+  if (cache.count(3) != 0) publish(3, cache.at(3));
+}
+
+// Pointer *values* are fine; the rule targets pointer *keys*.
+inline std::map<int, Node*> node_by_id;
+
+// reinterpret_cast that has nothing to do with coroutine frames.
+inline unsigned long bits_of(double d) { return *reinterpret_cast<unsigned long*>(&d); }
+
+}  // namespace fixture

@@ -132,6 +132,7 @@ TEST(CoroDetector, LeakedDetachedCoroutineReportedAtTeardown) {
   auto gate = std::make_unique<Gate>(*gate_sim);
   {
     auto t = [](Gate& g) -> Task<> { co_await g.wait(); }(*gate);
+    // lint-allow: coro-detach-tag deliberately-leaked untagged frame; the leak IS the test
     leaked = t.release_detached();  // nobody owns the frame now
     gate_sim->schedule_now(leaked);
   }

@@ -68,8 +68,13 @@ inline void flap_link(sim::FaultPlan& plan, std::uint32_t src, std::uint32_t dst
 /// SSO strings and aborts in the closure's destructor. Arguments the closure
 /// passes by reference into a lazily-started coroutine (e.g. a Path handed to
 /// mkdir) must likewise be named locals, since the Task is awaited after op's
-/// return full-expression ends.
+/// return full-expression ends. pacon-analyze enforces both halves of this
+/// contract at call sites tree-wide: `coro-temp-lambda` flags temporary
+/// closures with by-value captures handed to a coroutine, and
+/// `coro-param-view` / `coro-param-ref` flag coroutine parameters that can
+/// dangle before the first await.
 template <typename F>
+// lint-allow: coro-param-ref `op` is reference-by-contract; the Lifetime contract above binds callers
 sim::Task<bool> eventually(sim::Simulation& sim, const F& op, int attempts = 400,
                            sim::SimDuration gap = 300_us) {
   for (int i = 0; i < attempts; ++i) {

@@ -1,0 +1,140 @@
+// pacon-analyze CLI: the mandatory static-analysis gate (DESIGN.md §12).
+//
+//   pacon-analyze [--root DIR] [--baseline FILE|none] [--write-baseline]
+//                 [--json FILE] [--list-rules] [--quiet] [paths...]
+//
+// Exit codes: 0 clean (every finding suppressed or baselined), 1 live
+// findings, 2 usage/IO error. `paths` restricts the scan to those
+// root-relative files/directories (default: src tests bench examples tools).
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "analyze/baseline.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--root DIR] [--baseline FILE|none] [--write-baseline]\n"
+               "       [--json FILE] [--list-rules] [--quiet] [paths...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pacon::analyze;
+
+  Options opts;
+  std::string baseline_arg;
+  std::string json_path;
+  bool write_baseline = false;
+  bool quiet = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "pacon-analyze: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      opts.root = value("--root");
+    } else if (arg == "--baseline") {
+      baseline_arg = value("--baseline");
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (arg == "--json") {
+      json_path = value("--json");
+    } else if (arg == "--quiet" || arg == "-q") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      for (const RuleInfo& r : rule_catalog()) {
+        std::cout << r.id << "\n    " << r.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "pacon-analyze: unknown flag: " << arg << "\n";
+      return usage(argv[0]);
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (!paths.empty()) opts.scan_roots = paths;
+
+  // Default baseline: scripts/analyze_baseline.txt under the root, when it
+  // exists. `--baseline none` runs raw (used by --write-baseline refreshes).
+  std::string baseline_path = baseline_arg;
+  if (baseline_path.empty()) {
+    const auto candidate =
+        std::filesystem::path(opts.root) / "scripts" / "analyze_baseline.txt";
+    std::error_code ec;
+    if (std::filesystem::is_regular_file(candidate, ec)) baseline_path = candidate.string();
+  } else if (baseline_path == "none") {
+    baseline_path.clear();
+  }
+
+  Baseline baseline;
+  const bool have_baseline = !baseline_path.empty() && !write_baseline;
+  if (have_baseline && !baseline.load(baseline_path)) {
+    std::cerr << "pacon-analyze: cannot read baseline " << baseline_path << "\n";
+    return 2;
+  }
+
+  const Result result = run_analysis(opts, have_baseline ? &baseline : nullptr);
+
+  if (write_baseline) {
+    std::string out_path = baseline_path;
+    if (out_path.empty()) {
+      out_path =
+          (std::filesystem::path(opts.root) / "scripts" / "analyze_baseline.txt").string();
+    }
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "pacon-analyze: cannot write baseline " << out_path << "\n";
+      return 2;
+    }
+    out << Baseline::serialize(result.findings);
+    std::cout << "pacon-analyze: wrote baseline with " << result.findings.size()
+              << " entr" << (result.findings.size() == 1 ? "y" : "ies") << " to " << out_path
+              << "\n";
+    return 0;
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "pacon-analyze: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << to_json(result, opts);
+  }
+
+  for (const Finding& f : result.findings) {
+    std::cout << f.file << ":" << f.line << ": " << f.rule << ": " << f.message << "\n";
+    if (!f.snippet.empty() && !quiet) std::cout << "    " << f.snippet << "\n";
+  }
+  if (!result.stale_baseline.empty() && !quiet) {
+    std::cout << "pacon-analyze: note: " << result.stale_baseline.size()
+              << " stale baseline entr"
+              << (result.stale_baseline.size() == 1 ? "y" : "ies")
+              << " (fixed findings still listed; refresh with --write-baseline)\n";
+  }
+  if (!quiet || !result.findings.empty()) {
+    std::cout << "pacon-analyze: " << result.findings.size() << " finding(s), "
+              << result.suppressed << " suppressed, " << result.baselined.size()
+              << " baselined, " << result.files_scanned << " files scanned\n";
+  }
+  return result.findings.empty() ? 0 : 1;
+}
